@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Benchmarks run with ``pytest benchmarks/ --benchmark-only``.  Every
+benchmark prints the table or series the paper reports; run with ``-s``
+to see them inline (they are also attached to the benchmark's
+``extra_info``).
+"""
+
+import pytest
+
+from repro.config import paper_machine
+from repro.workloads import WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The paper's machine: 8 processors, 4 disks, B = 240 ios/s."""
+    return paper_machine()
+
+
+@pytest.fixture(scope="session")
+def workload_config():
+    """Figure-7 workload knobs, scaled for benchmark wall time.
+
+    The paper scans 100-10,000 tuples per task; we cap at 3,000 pages
+    so the page-level simulation of the full grid stays fast.  Shapes
+    are unaffected (verified against full-scale runs in EXPERIMENTS.md).
+    """
+    return WorkloadConfig(max_pages=3000)
+
+
+def emit(benchmark, text: str) -> None:
+    """Print a paper-style table and attach it to the benchmark record."""
+    print()
+    print(text)
+    if benchmark is not None:
+        benchmark.extra_info["report"] = text

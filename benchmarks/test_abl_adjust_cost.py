@@ -1,0 +1,69 @@
+"""abl3 — how cheap must adjustment be to pay off?
+
+"Our parallelism adjustment mechanism is made possible only by the low
+communication delay advantage of a shared-memory system."  This
+ablation sweeps the adjustment overhead from shared-memory-cheap to
+message-passing-expensive and watches INTER-WITH-ADJ's win over
+INTRA-ONLY erode.
+"""
+
+from statistics import mean
+
+from conftest import emit
+from repro.bench import format_table
+from repro.core import InterWithAdjPolicy, IntraOnlyPolicy
+from repro.sim import FluidSimulator
+from repro.workloads import WorkloadKind, generate_tasks
+
+SEEDS = range(6)
+#: Seconds of work added to a task per adjustment.
+OVERHEADS = (0.0, 0.01, 0.1, 1.0, 5.0, 20.0)
+
+
+def test_abl_adjustment_cost_sweep(benchmark, machine, workload_config):
+    def run():
+        intra = []
+        for seed in SEEDS:
+            tasks = generate_tasks(
+                WorkloadKind.EXTREME, seed=seed, machine=machine, config=workload_config
+            )
+            intra.append(
+                FluidSimulator(machine).run(list(tasks), IntraOnlyPolicy()).elapsed
+            )
+        by_overhead = {}
+        for overhead in OVERHEADS:
+            elapsed = []
+            for seed in SEEDS:
+                tasks = generate_tasks(
+                    WorkloadKind.EXTREME,
+                    seed=seed,
+                    machine=machine,
+                    config=workload_config,
+                )
+                sim = FluidSimulator(machine, adjustment_overhead=overhead)
+                elapsed.append(sim.run(list(tasks), InterWithAdjPolicy()).elapsed)
+            by_overhead[overhead] = mean(elapsed)
+        return mean(intra), by_overhead
+
+    intra, by_overhead = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            f"{overhead:g}s",
+            f"{elapsed:.2f}",
+            f"{(intra - elapsed) / intra * 100:+.1f}%",
+        )
+        for overhead, elapsed in by_overhead.items()
+    ]
+    emit(
+        benchmark,
+        format_table(
+            ["adjustment overhead", "WITH-ADJ elapsed (s)", "win vs INTRA"],
+            rows,
+            title=f"abl3 — adjustment cost sweep (INTRA-ONLY = {intra:.2f}s)",
+        ),
+    )
+    cheap = by_overhead[OVERHEADS[0]]
+    pricey = by_overhead[OVERHEADS[-1]]
+    # Costs must hurt monotonically-ish and shared-memory-cheap must win.
+    assert cheap < intra
+    assert pricey > cheap

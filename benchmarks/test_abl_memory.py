@@ -1,0 +1,95 @@
+"""abl6 — memory-constrained scheduling (the paper's future work).
+
+Sweeps the machine's work memory and watches inter-operation
+parallelism degrade gracefully toward INTRA-ONLY: with too little
+memory for two working sets, the adaptive scheduler falls back to
+running tasks one at a time, exactly as Section 5 anticipates.
+"""
+
+import dataclasses
+from statistics import mean
+
+from conftest import emit
+from repro.bench import format_table
+from repro.core import InterWithAdjPolicy, IntraOnlyPolicy
+from repro.sim import FluidSimulator
+from repro.workloads import WorkloadKind, generate_tasks
+
+SEEDS = range(6)
+MB = 1024.0 * 1024.0
+BUDGETS_MB = (float("inf"), 64.0, 24.0, 12.0, 6.0)
+PER_TASK_MB = 8.0
+
+
+def test_abl_memory_budget_sweep(benchmark, machine, workload_config):
+    def run():
+        intra = []
+        for seed in SEEDS:
+            tasks = [
+                t.with_memory(PER_TASK_MB * MB)
+                for t in generate_tasks(
+                    WorkloadKind.EXTREME,
+                    seed=seed,
+                    machine=machine,
+                    config=workload_config,
+                )
+            ]
+            intra.append(
+                FluidSimulator(machine).run(list(tasks), IntraOnlyPolicy()).elapsed
+            )
+        by_budget = {}
+        for budget in BUDGETS_MB:
+            budget_bytes = budget * MB if budget != float("inf") else float("inf")
+            tight = dataclasses.replace(machine, work_memory_bytes=budget_bytes)
+            elapsed = []
+            peaks = []
+            for seed in SEEDS:
+                tasks = [
+                    t.with_memory(PER_TASK_MB * MB)
+                    for t in generate_tasks(
+                        WorkloadKind.EXTREME,
+                        seed=seed,
+                        machine=machine,
+                        config=workload_config,
+                    )
+                ]
+                result = FluidSimulator(tight).run(list(tasks), InterWithAdjPolicy())
+                elapsed.append(result.elapsed)
+                peaks.append(result.peak_memory)
+            by_budget[budget] = (mean(elapsed), max(peaks))
+        return mean(intra), by_budget
+
+    intra, by_budget = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for budget, (elapsed, peak) in by_budget.items():
+        label = "unlimited" if budget == float("inf") else f"{budget:g} MB"
+        rows.append(
+            (
+                label,
+                f"{elapsed:.2f}",
+                f"{(intra - elapsed) / intra * 100:+.1f}%",
+                f"{peak / MB:.0f} MB",
+            )
+        )
+    emit(
+        benchmark,
+        format_table(
+            ["work memory", "WITH-ADJ elapsed (s)", "win vs INTRA", "peak resident"],
+            rows,
+            title=(
+                f"abl6 — memory budget sweep, {PER_TASK_MB:g} MB/task "
+                f"(INTRA-ONLY = {intra:.2f}s)"
+            ),
+        ),
+    )
+    unlimited = by_budget[float("inf")][0]
+    starved = by_budget[BUDGETS_MB[-1]][0]
+    # Budgets below two working sets force sequential execution = intra.
+    assert starved >= intra * 0.999
+    # With room for two working sets the win is back.
+    assert unlimited < intra
+    # Peak residency respects the budget (a single task that alone
+    # exceeds the budget still has to run, so that is the floor).
+    for budget, (__, peak) in by_budget.items():
+        if budget != float("inf"):
+            assert peak <= max(budget, PER_TASK_MB) * MB + 1e-6

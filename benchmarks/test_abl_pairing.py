@@ -1,0 +1,48 @@
+"""abl1 — the pairing heuristic.
+
+The paper pairs "the most IO-bound task ... and the most CPU-bound
+task" so the leftover tasks sit closer to the diagonal.  This ablation
+compares that against FIFO pairing (first task of each queue in arrival
+order) on the random-mix workload.
+"""
+
+from statistics import mean
+
+from conftest import emit
+from repro.bench import format_table
+from repro.core import InterWithAdjPolicy
+from repro.sim import MicroSimulator
+from repro.workloads import WorkloadKind, generate_specs
+
+SEEDS = range(6)
+
+
+def test_abl_pairing_heuristic(benchmark, machine, workload_config):
+    def run():
+        results = {"extreme": [], "fifo": []}
+        for seed in SEEDS:
+            specs = generate_specs(
+                WorkloadKind.RANDOM, seed=seed, machine=machine, config=workload_config
+            )
+            for pairing in ("extreme", "fifo"):
+                policy = InterWithAdjPolicy(integral=True, pairing=pairing)
+                result = MicroSimulator(machine).run(list(specs), policy)
+                results[pairing].append(result.elapsed)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    extreme = mean(results["extreme"])
+    fifo = mean(results["fifo"])
+    emit(
+        benchmark,
+        format_table(
+            ["pairing", "mean elapsed (s)"],
+            [
+                ("most-IO x most-CPU (paper)", f"{extreme:.2f}"),
+                ("FIFO", f"{fifo:.2f}"),
+            ],
+            title="abl1 — pairing heuristic on the Random workload",
+        ),
+    )
+    # The paper's heuristic should not lose to FIFO pairing.
+    assert extreme <= fifo * 1.02

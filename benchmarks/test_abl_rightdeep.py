@@ -1,0 +1,86 @@
+"""abl7 — left-deep vs right-deep vs bushy under parcost and memory.
+
+The paper's related work cites [SCHN90]: "right-deep trees are superior
+given sufficient memory resources.  However, there is no analytical
+cost expression which can be used by an optimizer to decide whether and
+when to switch."  ``parcost`` *is* such an expression — this ablation
+evaluates every shape of a 4-relation chain with it and reports the
+predicted elapsed time and pinned memory per shape class.
+"""
+
+from statistics import mean
+
+from conftest import emit
+from repro.bench import format_table
+from repro.optimizer import enumerate_all_bushy, parallel_cost
+from repro.plans import is_bushy, is_left_deep, is_right_deep
+from repro.workloads import chain_join
+
+
+def _shape(plan) -> str:
+    left = is_left_deep(plan)
+    right = is_right_deep(plan)
+    if left and right:
+        return "single-join"
+    if left:
+        return "left-deep"
+    if right:
+        return "right-deep"
+    if is_bushy(plan):
+        return "bushy"
+    return "zigzag"
+
+
+def test_abl_plan_shapes_under_parcost(benchmark):
+    schema = chain_join(4, rows_per_relation=300, seed=19)
+
+    def evaluate():
+        by_shape: dict[str, list] = {}
+        for plan in enumerate_all_bushy(schema.query, schema.catalog):
+            cost = parallel_cost(plan, schema.catalog)
+            memory = sum(t.memory_bytes for t in cost.tasks)
+            by_shape.setdefault(_shape(plan), []).append(
+                (cost.elapsed, memory, len(cost.fragments))
+            )
+        return by_shape
+
+    by_shape = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = []
+    for shape, entries in sorted(by_shape.items()):
+        elapsed = [e for e, __, __ in entries]
+        memories = [m for __, m, __ in entries]
+        rows.append(
+            (
+                shape,
+                len(entries),
+                f"{min(elapsed):.3f}",
+                f"{mean(elapsed):.3f}",
+                f"{mean(memories) / 1024:.0f} KB",
+            )
+        )
+    emit(
+        benchmark,
+        format_table(
+            ["shape", "plans", "best parcost (s)", "mean parcost (s)", "mean pinned memory"],
+            rows,
+            title="abl7 — plan shapes of a 4-relation chain under parcost",
+        ),
+    )
+    assert "left-deep" in by_shape
+    assert "right-deep" in by_shape
+    # parcost gives the analytic criterion [SCHN90] lacked: the best
+    # non-left-deep plan is at least as good as the best left-deep one
+    # (inner fragments of right-deep/bushy shapes run concurrently).
+    best_left = min(e for e, __, __ in by_shape["left-deep"])
+    others = [
+        e
+        for shape, entries in by_shape.items()
+        if shape not in ("left-deep", "single-join")
+        for e, __, __ in entries
+    ]
+    assert min(others) <= best_left + 1e-9
+    # Right-deep plans pin more memory than left-deep ones (all builds
+    # resident at once) — the memory/latency trade [SCHN90] describes.
+    left_mem = mean(m for __, m, __ in by_shape["left-deep"])
+    right_mem = mean(m for __, m, __ in by_shape["right-deep"])
+    assert right_mem >= left_mem * 0.9

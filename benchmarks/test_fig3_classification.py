@@ -1,0 +1,31 @@
+"""fig3 — IO-bound vs CPU-bound classification lines.
+
+Regenerates the data behind Figure 3: each task's line ``y = C_i x``
+inside the rectangle bounded by N and B; tasks above the diagonal are
+IO-bound (bandwidth-limited), below are CPU-bound (processor-limited).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import figure3
+from repro.core import is_io_bound, max_parallelism
+
+
+def test_fig3_classification_lines(benchmark, machine):
+    data = benchmark.pedantic(lambda: figure3(machine=machine), rounds=1, iterations=1)
+    emit(benchmark, data.to_table())
+    for task, line in data.lines:
+        # Lines pass through the origin with slope C.
+        assert line[0] == (0.0, 0.0)
+        for x, y in line:
+            assert y == pytest.approx(task.io_rate * x)
+        # IO-bound tasks end on the bandwidth wall, CPU-bound on N.
+        x_end, y_end = line[-1]
+        if is_io_bound(task, machine):
+            assert y_end == pytest.approx(machine.io_bandwidth)
+            assert x_end < machine.processors
+        else:
+            assert x_end == pytest.approx(machine.processors)
+            assert y_end <= machine.io_bandwidth + 1e-9
+        assert x_end == pytest.approx(max_parallelism(task, machine))

@@ -1,0 +1,46 @@
+"""fig4 — the IO-CPU balance point.
+
+Regenerates Figure 4: for one IO-bound and one CPU-bound task, the
+intersection of the two lines inside the (N, B) rectangle puts the
+system at the maximum utilization point — 100% of both processors and
+(effective) disk bandwidth.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import figure4, format_table
+from repro.core import balance_point, make_task
+
+
+def test_fig4_balance_point(benchmark, machine):
+    data = benchmark.pedantic(lambda: figure4(machine=machine), rounds=1, iterations=1)
+    emit(benchmark, data.to_table())
+    cpu_util, io_util = data.point.utilization(machine)
+    assert cpu_util == pytest.approx(1.0)
+    assert io_util == pytest.approx(1.0)
+    assert data.point.total_parallelism == pytest.approx(machine.processors)
+
+
+def test_fig4_closed_form_without_correction(benchmark, machine):
+    """The nominal (Section 2.3) closed form, B constant at 240."""
+
+    def solve():
+        fi = make_task("io", io_rate=60.0, seq_time=10.0)
+        fj = make_task("cpu", io_rate=10.0, seq_time=10.0)
+        return balance_point(fi, fj, machine, use_effective_bandwidth=False)
+
+    point = benchmark.pedantic(solve, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        format_table(
+            ["quantity", "value", "closed form"],
+            [
+                ("x_io", f"{point.x_io:.3f}", "(B - Cj N)/(Ci - Cj) = 3.2"),
+                ("x_cpu", f"{point.x_cpu:.3f}", "(Ci N - B)/(Ci - Cj) = 4.8"),
+            ],
+            title="Figure 4 closed form (no bandwidth correction)",
+        ),
+    )
+    assert point.x_io == pytest.approx(3.2)
+    assert point.x_cpu == pytest.approx(4.8)

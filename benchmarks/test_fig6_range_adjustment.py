@@ -1,0 +1,129 @@
+"""fig6 — the range-partitioning adjustment protocol.
+
+Same shape as the fig5 bench but for range-partitioned (index-scan)
+tasks: slaves own key intervals, the master repartitions leftovers on
+adjustment, and a slave may end up with several intervals.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import format_table
+from repro.core import Adjust, SchedulingPolicy, Start
+from repro.core.task import IOPattern
+from repro.sim import MicroSimulator, spec_for_io_rate
+
+
+class GrowOnce(SchedulingPolicy):
+    name = "grow-once"
+
+    def __init__(self, start_x, new_x, at_fraction):
+        self.start_x = start_x
+        self.new_x = new_x
+        self.at_fraction = at_fraction
+        self._fired = False
+
+    def reset(self):
+        self._fired = False
+
+    def decide(self, state):
+        if state.pending and not state.running:
+            return [Start(state.pending[0], self.start_x)]
+        if state.running and not self._fired:
+            run = state.running[0]
+            if run.remaining_seq_time < (1 - self.at_fraction) * run.task.seq_time:
+                self._fired = True
+                return [Adjust(run.task, self.new_x)]
+        return []
+
+
+class FixedStart(SchedulingPolicy):
+    name = "fixed"
+
+    def __init__(self, x):
+        self.x = x
+
+    def decide(self, state):
+        if state.pending and not state.running:
+            return [Start(state.pending[0], self.x)]
+        return []
+
+
+def _index_scan_spec(machine, n_keys=1500):
+    return spec_for_io_rate(
+        "index-scan",
+        machine,
+        io_rate=25.0,
+        n_pages=n_keys,
+        pattern=IOPattern.RANDOM,
+        partitioning="range",
+    )
+
+
+def test_fig6_range_protocol(benchmark, machine):
+    spec = _index_scan_spec(machine)
+
+    def run():
+        sim = MicroSimulator(machine, consult_interval=0.2)
+        return sim.run([spec], GrowOnce(2, 4, at_fraction=0.25))
+
+    grown = benchmark.pedantic(run, rounds=1, iterations=1)
+    slow = MicroSimulator(machine).run([spec], FixedStart(2))
+    fast = MicroSimulator(machine).run([spec], FixedStart(4))
+    emit(
+        benchmark,
+        format_table(
+            ["schedule", "elapsed"],
+            [
+                ("fixed x=2", f"{slow.elapsed:.2f}s"),
+                ("fixed x=4", f"{fast.elapsed:.2f}s"),
+                ("grow 2->4 at 25%", f"{grown.elapsed:.2f}s"),
+            ],
+            title="Figure 6 — range repartitioning protocol (micro engine)",
+        ),
+    )
+    assert grown.io_served == spec.n_pages  # every key fetched once
+    assert fast.elapsed < grown.elapsed < slow.elapsed
+
+
+def test_fig6_protocol_on_real_processes(benchmark):
+    """Interval repartitioning on actual multiprocessing slaves."""
+    from repro.catalog import Schema
+    from repro.config import MachineConfig
+    from repro.parallel import AdjustmentPlan, ParallelIndexScan
+    from repro.storage import BTreeIndex, DiskArray, HeapFile
+
+    heap = HeapFile(
+        Schema.of(("a", "int4"), ("b", "text")),
+        DiskArray(MachineConfig(processors=2, disks=2)),
+    )
+    heap.insert_many([(i, "y" * 40) for i in range(700)])
+    index = BTreeIndex()
+    for rid, row in heap.scan():
+        index.insert(row[0], rid)
+
+    def run():
+        return ParallelIndexScan(
+            heap,
+            index,
+            low=0,
+            high=699,
+            parallelism=2,
+            adjustments=[AdjustmentPlan(after_pages=60, parallelism=4)],
+        ).run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        format_table(
+            ["quantity", "value"],
+            [
+                ("keys fetched", report.pages_read),
+                ("rows returned", len(report.rows)),
+                ("parallelism history", report.parallelism_history),
+            ],
+            title="Figure 6 — protocol on real processes",
+        ),
+    )
+    assert sorted(r[0] for r in report.rows) == list(range(700))
+    assert report.parallelism_history == [2, 4]

@@ -1,0 +1,77 @@
+"""fig7 — the paper's headline experiment.
+
+Four workloads x three scheduling algorithms, elapsed time.  Expected
+shape (paper): on AllCPU and AllIO the three algorithms tie; on the
+mixed workloads INTER-WITH-ADJ beats INTRA-ONLY (the paper reports "as
+much as 25%"; our engines reproduce up to ~12% on the page-level
+simulator and ~23% on the fluid engine — see EXPERIMENTS.md), while
+INTER-WITHOUT-ADJ loses ground because finished tasks leave running
+tasks stuck at a stale parallelism.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import run_figure7
+from repro.workloads import WorkloadKind
+
+SEEDS = (0, 1, 2, 3)
+
+
+def test_fig7_micro_engine(benchmark, machine, workload_config):
+    result = benchmark.pedantic(
+        lambda: run_figure7(
+            engine="micro", seeds=SEEDS, machine=machine, config=workload_config
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, result.to_table())
+    emit(None, result.to_bar_chart())
+    _check_shape(result)
+    # The micro engine also pays real protocol costs: with-adj actually
+    # performed adjustments on the mixed workloads.
+    extreme_adj = result.cell(WorkloadKind.EXTREME, "INTER-WITH-ADJ").adjustments
+    assert sum(extreme_adj) > 0
+
+
+def test_fig7_fluid_engine(benchmark, machine, workload_config):
+    result = benchmark.pedantic(
+        lambda: run_figure7(
+            engine="fluid",
+            seeds=tuple(range(10)),
+            machine=machine,
+            config=workload_config,
+            integral=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, result.to_table())
+    _check_shape(result)
+    # The fluid engine approaches the paper's "as much as 25%".
+    assert result.max_win_over_intra(WorkloadKind.EXTREME, "INTER-WITH-ADJ") > 0.12
+
+
+def _check_shape(result):
+    # Uniform workloads: all three algorithms equivalent.
+    for kind in (WorkloadKind.ALL_CPU, WorkloadKind.ALL_IO):
+        intra = result.cell(kind, "INTRA-ONLY").mean_elapsed
+        for policy in ("INTER-WITHOUT-ADJ", "INTER-WITH-ADJ"):
+            assert result.cell(kind, policy).mean_elapsed == pytest.approx(
+                intra, rel=0.02
+            )
+    # Mixed workloads: the adaptive algorithm wins...
+    for kind in (WorkloadKind.EXTREME, WorkloadKind.RANDOM):
+        assert result.win_over_intra(kind, "INTER-WITH-ADJ") > 0.0
+    # ...and beats the no-adjustment variant.
+    for kind in (WorkloadKind.EXTREME, WorkloadKind.RANDOM):
+        wo = result.cell(kind, "INTER-WITHOUT-ADJ").mean_elapsed
+        wa = result.cell(kind, "INTER-WITH-ADJ").mean_elapsed
+        assert wa < wo
+    # INTER-WITHOUT-ADJ loses to INTRA-ONLY on the random mix (the
+    # paper observes it losing on mixed workloads generally; on
+    # Extreme its sign is seed-dependent in our engines).
+    random_wo = result.cell(WorkloadKind.RANDOM, "INTER-WITHOUT-ADJ").mean_elapsed
+    random_intra = result.cell(WorkloadKind.RANDOM, "INTRA-ONLY").mean_elapsed
+    assert random_wo > random_intra

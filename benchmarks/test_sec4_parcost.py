@@ -1,0 +1,110 @@
+"""sec4 — bushy-tree optimization with parcost.
+
+Section 4 proposes ``parcost(p, n) = T_n(F(p))`` — cost a plan by
+simulating the adaptive scheduler over its fragments — and argues that
+with inter-operation parallelism, the left-deep/intra-only strategy of
+[HONG91] "cannot always take full advantage of all available
+resources".  The paper gives no table for this section, so this bench
+constructs the missing one:
+
+* parcost-chosen plans are never worse (predicted elapsed) than
+  left-deep/seqcost-chosen plans, and the speedups are real;
+* the parcost prediction agrees with the fluid engine by construction
+  and tracks the page-level engine's relative ordering of plans.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import format_table
+from repro.optimizer import OptimizerMode, TwoPhaseOptimizer, parallel_cost
+from repro.plans import count_joins, is_left_deep
+from repro.workloads import chain_join, star_join
+
+
+def _optimize_all_modes(schema):
+    optimizer = TwoPhaseOptimizer(schema.catalog)
+    return {mode: optimizer.optimize(schema.query, mode=mode) for mode in OptimizerMode}
+
+
+def test_sec4_chain_query(benchmark):
+    schema = chain_join(4, seed=3)
+    results = benchmark.pedantic(
+        lambda: _optimize_all_modes(schema), rounds=1, iterations=1
+    )
+    rows = []
+    for mode, result in results.items():
+        rows.append(
+            (
+                mode.value,
+                "left-deep" if is_left_deep(result.plan) else "bushy/right-deep",
+                count_joins(result.plan),
+                len(result.parallel.fragments),
+                f"{result.parallel.seqcost:.3f}s",
+                f"{result.predicted_elapsed:.3f}s",
+                f"{result.parallel.speedup:.2f}x",
+            )
+        )
+    emit(
+        benchmark,
+        format_table(
+            ["mode", "shape", "joins", "fragments", "seqcost", "parcost", "speedup"],
+            rows,
+            title="Section 4 — two-phase optimization of a 4-relation chain",
+        ),
+    )
+    ld = results[OptimizerMode.LEFT_DEEP_SEQ]
+    par = results[OptimizerMode.BUSHY_PAR]
+    assert par.predicted_elapsed <= ld.predicted_elapsed + 1e-9
+    assert par.parallel.speedup > 1.0
+    # All modes compute the same answer.
+    counts = {
+        len(r.plan.to_operator(schema.catalog).run()) for r in results.values()
+    }
+    assert len(counts) == 1
+
+
+def test_sec4_star_query(benchmark):
+    schema = star_join(3, seed=5)
+    results = benchmark.pedantic(
+        lambda: _optimize_all_modes(schema), rounds=1, iterations=1
+    )
+    ld = results[OptimizerMode.LEFT_DEEP_SEQ]
+    par = results[OptimizerMode.BUSHY_PAR]
+    emit(
+        benchmark,
+        format_table(
+            ["mode", "parcost (s)"],
+            [(m.value, f"{r.predicted_elapsed:.3f}") for m, r in results.items()],
+            title="Section 4 — star query (fact + 3 dimensions)",
+        ),
+    )
+    assert par.predicted_elapsed <= ld.predicted_elapsed + 1e-9
+
+
+def test_sec4_parcost_ranks_plans_like_execution(benchmark):
+    """parcost must order plans the way the scheduler actually runs them."""
+    from repro.core import IntraOnlyPolicy
+
+    schema = chain_join(3, seed=9)
+    optimizer = TwoPhaseOptimizer(schema.catalog)
+    plan = optimizer.choose_plan(schema.query, OptimizerMode.BUSHY_SEQ)
+
+    def costs():
+        adaptive = parallel_cost(plan, schema.catalog)
+        intra = parallel_cost(plan, schema.catalog, policy=IntraOnlyPolicy())
+        return adaptive, intra
+
+    adaptive, intra = benchmark.pedantic(costs, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        format_table(
+            ["policy", "parcost (s)"],
+            [
+                ("INTER-WITH-ADJ", f"{adaptive.elapsed:.3f}"),
+                ("INTRA-ONLY", f"{intra.elapsed:.3f}"),
+            ],
+            title="Section 4 — parcost under different runtime policies",
+        ),
+    )
+    assert adaptive.elapsed <= intra.elapsed + 1e-9

@@ -1,0 +1,73 @@
+"""tbl1 — the Section-3 io-rate table and workload generator draws.
+
+Paper table:
+
+    CPU-bound            randomly chosen in [5, 30)
+    IO-bound             randomly chosen in (30, 60]
+    Extremely CPU-bound  randomly chosen in [5, 15]
+    Extremely IO-bound   randomly chosen in [60, 70]
+
+(our bands rescale the IO side into almost-sequential units — see the
+workloads module docstring; the classification threshold stays at 30).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import format_table
+from repro.core import is_io_bound
+from repro.workloads import RateBands, WorkloadKind, generate_tasks
+
+
+def test_tbl1_rate_bands(benchmark, machine, workload_config):
+    bands = workload_config.bands
+
+    def draw():
+        return {
+            kind: [
+                generate_tasks(kind, seed=s, machine=machine, config=workload_config)
+                for s in range(3)
+            ]
+            for kind in WorkloadKind
+        }
+
+    drawn = benchmark.pedantic(draw, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        format_table(
+            ["Type of Tasks", "IO Rate (ios/second)"],
+            bands.paper_table(),
+            title="Section 3 io-rate table (this reproduction's bands)",
+        ),
+    )
+    for kind, workloads in drawn.items():
+        for tasks in workloads:
+            assert len(tasks) == workload_config.n_tasks
+            for task in tasks:
+                assert (
+                    workload_config.min_pages
+                    <= task.io_count
+                    <= workload_config.max_pages
+                )
+            if kind == WorkloadKind.ALL_CPU:
+                assert all(not is_io_bound(t, machine) for t in tasks)
+                assert all(
+                    bands.cpu_low <= t.io_rate < bands.cpu_high + 1e-6 for t in tasks
+                )
+            elif kind == WorkloadKind.ALL_IO:
+                assert all(
+                    bands.io_low - 1e-6 <= t.io_rate <= bands.io_high + 1e-6
+                    for t in tasks
+                )
+            elif kind == WorkloadKind.EXTREME:
+                io_side = [t for t in tasks if is_io_bound(t, machine)]
+                cpu_side = [t for t in tasks if not is_io_bound(t, machine)]
+                assert len(io_side) == len(cpu_side) == len(tasks) // 2
+                assert all(t.io_rate >= bands.extreme_io_low - 1e-6 for t in io_side)
+                assert all(t.io_rate <= bands.extreme_cpu_high + 1e-6 for t in cpu_side)
+
+
+def test_tbl1_default_bands_match_threshold(machine):
+    bands = RateBands()
+    assert bands.cpu_high == pytest.approx(machine.bound_threshold)
+    assert bands.io_low == pytest.approx(machine.bound_threshold)

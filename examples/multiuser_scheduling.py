@@ -1,0 +1,78 @@
+"""Multi-user scheduling with continuous task queues.
+
+The paper's algorithm "can be easily extended to handle a continuous
+sequence of tasks ... all we need to do is to represent S_io and S_cpu
+as queues."  This example feeds a Poisson stream of mixed tasks through
+the continuous queues and compares:
+
+* INTRA-ONLY vs the adaptive scheduler — throughput under arrivals;
+* extreme pairing vs the shortest-job-first heuristic — "if we want to
+  minimize the response time of individual queries instead of the
+  total elapsed time, a shortest-job-first heuristic can be used."
+
+Run:  python examples/multiuser_scheduling.py
+"""
+
+from statistics import mean
+
+from repro import FluidSimulator, InterWithAdjPolicy, IntraOnlyPolicy, paper_machine
+from repro.bench import format_table
+from repro.workloads import (
+    WorkloadConfig,
+    WorkloadKind,
+    generate_tasks,
+    poisson_arrivals,
+)
+
+
+def main() -> None:
+    machine = paper_machine()
+    config = WorkloadConfig(n_tasks=20, max_pages=2000)
+
+    rows = []
+    for policy_factory, label in [
+        (lambda: IntraOnlyPolicy(), "INTRA-ONLY"),
+        (lambda: InterWithAdjPolicy(), "INTER-WITH-ADJ (extreme pairing)"),
+        (lambda: InterWithAdjPolicy(pairing="sjf"), "INTER-WITH-ADJ (SJF)"),
+    ]:
+        response_times = []
+        makespans = []
+        waits = []
+        for seed in range(5):
+            tasks = generate_tasks(
+                WorkloadKind.RANDOM, seed=seed, machine=machine, config=config
+            )
+            stream = poisson_arrivals(tasks, rate_per_second=0.15, seed=seed)
+            result = FluidSimulator(machine).run(list(stream), policy_factory())
+            response_times.append(result.mean_response_time)
+            makespans.append(result.elapsed)
+            waits.append(mean(r.wait_time for r in result.records))
+        rows.append(
+            (
+                label,
+                f"{mean(response_times):8.2f}",
+                f"{mean(waits):8.2f}",
+                f"{mean(makespans):8.2f}",
+            )
+        )
+
+    print(
+        format_table(
+            ["scheduler", "mean response (s)", "mean wait (s)", "makespan (s)"],
+            rows,
+            title=(
+                "Multi-user: 20 tasks arriving as a Poisson stream "
+                "(mean over 5 seeds)"
+            ),
+        )
+    )
+    print()
+    print(
+        "The adaptive scheduler overlaps IO-bound and CPU-bound queries, so\n"
+        "queries wait less than under INTRA-ONLY; SJF pairing further\n"
+        "trades makespan for response time, as Section 2.5 suggests."
+    )
+
+
+if __name__ == "__main__":
+    main()

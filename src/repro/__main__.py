@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figure7``   — run the headline experiment and print the table.
+* ``calibrate`` — re-measure the paper's Section-3 constants.
+* ``fig3``      — the IO/CPU classification table.
+* ``fig4``      — a worked IO-CPU balance point.
+* ``gantt``     — schedule one workload and draw its Gantt chart.
+* ``demo-sql``  — build a demo database and run a SQL statement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    from .bench import run_figure7
+    from .workloads import WorkloadConfig
+
+    result = run_figure7(
+        engine=args.engine,
+        seeds=tuple(range(args.seeds)),
+        config=WorkloadConfig(max_pages=args.max_pages),
+    )
+    print(result.to_table())
+    print()
+    print(result.to_bar_chart())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .bench import calibrate
+
+    print(calibrate().to_table())
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from .bench import figure3
+
+    print(figure3().to_table())
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from .bench import figure4
+
+    print(figure4(args.io_rate, args.cpu_rate).to_table())
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from .bench.gantt import render_gantt
+    from .config import paper_machine
+    from .core import policy_by_name
+    from .sim import FluidSimulator
+    from .workloads import WorkloadConfig, WorkloadKind, generate_tasks
+
+    machine = paper_machine()
+    kind = WorkloadKind(args.workload)
+    tasks = generate_tasks(
+        kind,
+        seed=args.seed,
+        machine=machine,
+        config=WorkloadConfig(max_pages=args.max_pages),
+    )
+    result = FluidSimulator(machine).run(tasks, policy_by_name(args.policy))
+    print(
+        render_gantt(
+            result,
+            title=f"{kind.value} workload under {args.policy} "
+            f"(digits = degree of parallelism)",
+        )
+    )
+    return 0
+
+
+def _cmd_demo_sql(args: argparse.Namespace) -> int:
+    from .sql import SqlError, run_sql
+    from .workloads import chain_join
+
+    schema = chain_join(3, rows_per_relation=500, seed=0)
+    print(
+        "Demo tables: s1(s1_l, s1_r, s1_pad), s2(s2_l, s2_r, s2_pad), "
+        "s3(s3_l, s3_r, s3_pad)"
+    )
+    try:
+        rows = run_sql(args.sql, schema.catalog)
+    except SqlError as error:
+        print(f"SQL error: {error}", file=sys.stderr)
+        return 1
+    for row in rows[: args.max_rows]:
+        print(row)
+    if len(rows) > args.max_rows:
+        print(f"... ({len(rows)} rows total)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="XPRS inter-operation parallelism reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figure7 = commands.add_parser("figure7", help="run the Figure-7 experiment")
+    figure7.add_argument("--engine", choices=("micro", "fluid"), default="micro")
+    figure7.add_argument("--seeds", type=int, default=3)
+    figure7.add_argument("--max-pages", type=int, default=2000)
+    figure7.set_defaults(func=_cmd_figure7)
+
+    calibrate = commands.add_parser("calibrate", help="re-measure Section-3 constants")
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    fig3 = commands.add_parser("fig3", help="IO/CPU classification table")
+    fig3.set_defaults(func=_cmd_fig3)
+
+    fig4 = commands.add_parser("fig4", help="a worked IO-CPU balance point")
+    fig4.add_argument("--io-rate", type=float, default=55.0)
+    fig4.add_argument("--cpu-rate", type=float, default=10.0)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    gantt = commands.add_parser("gantt", help="draw one workload's schedule")
+    gantt.add_argument(
+        "--workload",
+        choices=[k.value for k in __import__("repro.workloads", fromlist=["WorkloadKind"]).WorkloadKind],
+        default="Extreme",
+    )
+    gantt.add_argument(
+        "--policy",
+        choices=("INTRA-ONLY", "INTER-WITHOUT-ADJ", "INTER-WITH-ADJ"),
+        default="INTER-WITH-ADJ",
+    )
+    gantt.add_argument("--seed", type=int, default=0)
+    gantt.add_argument("--max-pages", type=int, default=2000)
+    gantt.set_defaults(func=_cmd_gantt)
+
+    demo_sql = commands.add_parser("demo-sql", help="run SQL on a demo database")
+    demo_sql.add_argument("sql", help="a SELECT statement")
+    demo_sql.add_argument("--max-rows", type=int, default=20)
+    demo_sql.set_defaults(func=_cmd_demo_sql)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Export experiment results as CSV / JSON for external plotting.
+
+The ASCII tables are the canonical artifacts; these exporters produce
+machine-readable data files so the figures can be re-plotted with any
+tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from ..sim.fluid import ScheduleResult
+from ..workloads.mixes import WorkloadKind
+from .harness import Figure7Result, POLICY_NAMES
+
+
+def figure7_to_csv(result: Figure7Result) -> str:
+    """One CSV row per (workload, policy, seed) run."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "workload",
+            "policy",
+            "seed",
+            "elapsed_seconds",
+            "adjustments",
+            "cpu_utilization",
+            "io_utilization",
+        ]
+    )
+    for kind in WorkloadKind:
+        for policy in POLICY_NAMES:
+            if (kind, policy) not in result.cells:
+                continue
+            cell = result.cell(kind, policy)
+            for i, seed in enumerate(result.seeds):
+                writer.writerow(
+                    [
+                        kind.value,
+                        policy,
+                        seed,
+                        f"{cell.elapsed[i]:.6f}",
+                        cell.adjustments[i],
+                        f"{cell.cpu_utilization[i]:.4f}",
+                        f"{cell.io_utilization[i]:.4f}",
+                    ]
+                )
+    return buffer.getvalue()
+
+
+def figure7_to_json(result: Figure7Result) -> str:
+    """The full grid as a JSON document (means plus per-seed series)."""
+    cells = []
+    for (kind, policy), cell in result.cells.items():
+        cells.append(
+            {
+                "workload": kind.value,
+                "policy": policy,
+                "mean_elapsed": cell.mean_elapsed,
+                "elapsed": cell.elapsed,
+                "adjustments": cell.adjustments,
+            }
+        )
+    document = {
+        "experiment": "figure7",
+        "engine": result.engine,
+        "seeds": list(result.seeds),
+        "machine": {
+            "processors": result.machine.processors,
+            "disks": result.machine.disks,
+            "io_bandwidth": result.machine.io_bandwidth,
+        },
+        "cells": cells,
+    }
+    return json.dumps(document, indent=2)
+
+
+def schedule_to_json(result: ScheduleResult) -> str:
+    """One schedule trace (the Gantt data) as JSON."""
+    records = []
+    for record in result.records:
+        records.append(
+            {
+                "task": record.task.name,
+                "io_rate": record.task.io_rate,
+                "arrival": record.task.arrival_time,
+                "started": record.started_at,
+                "finished": record.finished_at,
+                "parallelism": [list(p) for p in record.parallelism_history],
+            }
+        )
+    document = {
+        "policy": result.policy_name,
+        "elapsed": result.elapsed,
+        "adjustments": result.adjustments,
+        "cpu_utilization": result.cpu_utilization,
+        "io_utilization": result.io_utilization,
+        "records": records,
+    }
+    return json.dumps(document, indent=2)

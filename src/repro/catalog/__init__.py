@@ -1,0 +1,33 @@
+"""Catalog subsystem: types, schemas, statistics and the system catalog."""
+
+from .catalog import Catalog, IndexEntry, TableEntry
+from .schema import Column, Row, Schema
+from .statistics import (
+    ColumnStats,
+    RelationStats,
+    build_column_stats,
+    build_relation_stats,
+    equi_depth_histogram,
+)
+from .types import FLOAT8, INT4, INT4_MAX, INT4_MIN, TEXT, ColumnType, type_by_name
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "ColumnType",
+    "FLOAT8",
+    "INT4",
+    "INT4_MAX",
+    "INT4_MIN",
+    "IndexEntry",
+    "RelationStats",
+    "Row",
+    "Schema",
+    "TEXT",
+    "TableEntry",
+    "build_column_stats",
+    "build_relation_stats",
+    "equi_depth_histogram",
+    "type_by_name",
+]

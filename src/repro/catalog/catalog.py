@@ -1,0 +1,130 @@
+"""The system catalog: relation name → schema, storage, stats, indexes.
+
+The catalog deliberately does not import the storage layer; it holds the
+heap file and index objects the caller registers, so the dependency
+points storage → catalog only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import DuplicateRelationError, UnknownRelationError
+from .schema import Schema
+from .statistics import RelationStats
+
+
+@dataclass
+class IndexEntry:
+    """Catalog record for one index.
+
+    Attributes:
+        name: index name, unique within the catalog.
+        column: indexed column name.
+        clustered: whether the heap is ordered on the indexed column.
+            The paper's workload uses an *unclustered* index on ``a`` to
+            make IO-bound index scans possible.
+        index: the index object (a ``repro.storage.btree.BTreeIndex``).
+    """
+
+    name: str
+    column: str
+    clustered: bool
+    index: Any
+
+
+@dataclass
+class TableEntry:
+    """Catalog record for one relation."""
+
+    name: str
+    schema: Schema
+    heap: Any
+    stats: RelationStats | None = None
+    indexes: dict[str, IndexEntry] = field(default_factory=dict)
+
+    def index_on(self, column: str) -> IndexEntry | None:
+        """The first index on ``column``, or None."""
+        for entry in self.indexes.values():
+            if entry.column == column:
+                return entry
+        return None
+
+
+class Catalog:
+    """A simple in-memory system catalog."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+
+    def create_table(self, name: str, schema: Schema, heap: Any) -> TableEntry:
+        """Register a relation.
+
+        Raises:
+            DuplicateRelationError: if the name is taken.
+        """
+        if name in self._tables:
+            raise DuplicateRelationError(name)
+        entry = TableEntry(name=name, schema=schema, heap=heap)
+        self._tables[name] = entry
+        return entry
+
+    def drop_table(self, name: str) -> None:
+        """Remove a relation.
+
+        Raises:
+            UnknownRelationError: if no such relation exists.
+        """
+        if name not in self._tables:
+            raise UnknownRelationError(name)
+        del self._tables[name]
+
+    def table(self, name: str) -> TableEntry:
+        """Look up a relation by name.
+
+        Raises:
+            UnknownRelationError: if no such relation exists.
+        """
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a relation called ``name`` exists."""
+        return name in self._tables
+
+    def tables(self) -> Iterator[TableEntry]:
+        """Iterate over all registered relations."""
+        return iter(self._tables.values())
+
+    def set_stats(self, name: str, stats: RelationStats) -> None:
+        """Attach statistics to a relation (ANALYZE)."""
+        self.table(name).stats = stats
+
+    def add_index(
+        self,
+        table_name: str,
+        index_name: str,
+        column: str,
+        index: Any,
+        *,
+        clustered: bool = False,
+    ) -> IndexEntry:
+        """Register an index on an existing relation."""
+        table = self.table(table_name)
+        if index_name in table.indexes:
+            raise DuplicateRelationError(index_name)
+        table.schema.index_of(column)  # raises UnknownColumnError if bad
+        entry = IndexEntry(
+            name=index_name, column=column, clustered=clustered, index=index
+        )
+        table.indexes[index_name] = entry
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables

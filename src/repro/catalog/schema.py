@@ -1,0 +1,159 @@
+"""Relation schemas and row encoding.
+
+A :class:`Schema` is an ordered list of named, typed columns.  Rows are
+plain Python tuples positionally matching the schema; the schema knows
+how to validate, encode and decode them for storage in slotted pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..errors import SchemaError, UnknownColumnError
+from .types import ColumnType, type_by_name
+
+Row = tuple
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.name}={self.type.name}"
+
+
+class Schema:
+    """An ordered collection of columns with row codec support.
+
+    Supports construction either from :class:`Column` objects or from
+    ``(name, type_name)`` pairs::
+
+        Schema.of(("a", "int4"), ("b", "text"))
+    """
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._columns = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(columns)}
+
+    @classmethod
+    def of(cls, *specs: tuple[str, str]) -> "Schema":
+        """Build a schema from ``(name, type_name)`` pairs."""
+        return cls([Column(name, type_by_name(tname)) for name, tname in specs])
+
+    # -- container protocol ---------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __getitem__(self, key: int | str) -> Column:
+        if isinstance(key, str):
+            return self._columns[self.index_of(key)]
+        return self._columns[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self._columns)
+        return f"Schema({inner})"
+
+    def index_of(self, name: str) -> int:
+        """Position of the column called ``name``.
+
+        Raises:
+            UnknownColumnError: if no such column exists.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(name) from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column called ``name`` exists."""
+        return name in self._index
+
+    def names(self) -> tuple[str, ...]:
+        """The column names, in schema order."""
+        return tuple(c.name for c in self._columns)
+
+    # -- schema algebra (used by joins/projections) ---------------------------
+
+    def concat(self, other: "Schema", *, prefixes: tuple[str, str] | None = None) -> "Schema":
+        """Schema of the concatenation of rows from ``self`` and ``other``.
+
+        Column-name clashes are resolved with ``prefixes`` (e.g. the two
+        relation names); without prefixes a clash raises SchemaError.
+        """
+        left, right = list(self._columns), list(other._columns)
+        clash = {c.name for c in left} & {c.name for c in right}
+        if clash and prefixes is None:
+            raise SchemaError(f"column name clash in join schema: {sorted(clash)}")
+        if clash:
+            lp, rp = prefixes  # type: ignore[misc]
+            left = [
+                Column(f"{lp}_{c.name}", c.type) if c.name in clash else c for c in left
+            ]
+            right = [
+                Column(f"{rp}_{c.name}", c.type) if c.name in clash else c for c in right
+            ]
+        return Schema(left + right)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to the given column names, in the given order."""
+        return Schema([self[self.index_of(n)] for n in names])
+
+    # -- row codec -------------------------------------------------------------
+
+    def validate_row(self, row: Sequence[Any]) -> Row:
+        """Coerce a row to this schema, raising SchemaError on mismatch."""
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self._columns)} columns"
+            )
+        return tuple(col.type.validate(v) for col, v in zip(self._columns, row))
+
+    def encode_row(self, row: Sequence[Any]) -> bytes:
+        """Encode a validated row to its storage representation."""
+        parts = [col.type.encode(v) for col, v in zip(self._columns, row)]
+        return b"".join(parts)
+
+    def decode_row(self, data: bytes, offset: int = 0) -> Row:
+        """Decode one row starting at ``offset``."""
+        values = []
+        for col in self._columns:
+            value, consumed = col.type.decode(data, offset)
+            values.append(value)
+            offset += consumed
+        return tuple(values)
+
+    def encoded_size(self, row: Sequence[Any]) -> int:
+        """Encoded size in bytes of a validated row."""
+        return sum(
+            col.type.encoded_size(v) for col, v in zip(self._columns, row)
+        )

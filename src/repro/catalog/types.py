@@ -1,0 +1,180 @@
+"""Column types for the reproduction's relational layer.
+
+XPRS is built on Postgres; the paper's workload uses the schema
+``r1(a = int4, b = text)`` where ``b`` is a variable-size string used to
+control tuple sizes.  We implement the small type system those
+experiments need: 4-byte integers, 8-byte floats and variable-length
+text, each with a fixed-layout binary encoding so records can be stored
+in slotted pages.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SchemaError
+
+_INT4 = struct.Struct("<i")
+_FLOAT8 = struct.Struct("<d")
+_LEN = struct.Struct("<I")
+
+#: Range of a 4-byte signed integer.
+INT4_MIN = -(2**31)
+INT4_MAX = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A column type with a binary encoding.
+
+    Attributes:
+        name: SQL-ish type name (``int4``, ``float8``, ``text``).
+        fixed_size: encoded size in bytes for fixed-width types, or
+            ``None`` for variable-width types.
+    """
+
+    name: str
+    fixed_size: int | None
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` coerced to this type, or raise SchemaError."""
+        raise NotImplementedError
+
+    def encode(self, value: Any) -> bytes:
+        """Encode a validated value to bytes."""
+        raise NotImplementedError
+
+    def decode(self, data: bytes, offset: int) -> tuple[Any, int]:
+        """Decode a value at ``offset``; return (value, bytes consumed)."""
+        raise NotImplementedError
+
+    def encoded_size(self, value: Any) -> int:
+        """Encoded size in bytes of a validated value."""
+        if self.fixed_size is not None:
+            return self.fixed_size
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+class Int4Type(ColumnType):
+    """4-byte signed integer, like Postgres ``int4``.
+
+    Encoded as a null-flag byte followed by 4 payload bytes (zeroed for
+    NULL), so every int4 costs 5 bytes on disk.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(name="int4", fixed_size=5)
+
+    def validate(self, value: Any) -> int | None:
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchemaError(f"int4 requires an int or None, got {value!r}")
+        if not INT4_MIN <= value <= INT4_MAX:
+            raise SchemaError(f"int4 out of range: {value}")
+        return value
+
+    def encode(self, value: int | None) -> bytes:
+        if value is None:
+            return b"\x00" + b"\x00\x00\x00\x00"
+        return b"\x01" + _INT4.pack(value)
+
+    def decode(self, data: bytes, offset: int) -> tuple[int | None, int]:
+        if data[offset] == 0:
+            return None, 5
+        (value,) = _INT4.unpack_from(data, offset + 1)
+        return value, 5
+
+
+class Float8Type(ColumnType):
+    """8-byte IEEE double, like Postgres ``float8``.
+
+    Encoded as a null-flag byte followed by 8 payload bytes.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(name="float8", fixed_size=9)
+
+    def validate(self, value: Any) -> float | None:
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"float8 requires a number or None, got {value!r}")
+        return float(value)
+
+    def encode(self, value: float | None) -> bytes:
+        if value is None:
+            return b"\x00" + b"\x00" * 8
+        return b"\x01" + _FLOAT8.pack(value)
+
+    def decode(self, data: bytes, offset: int) -> tuple[float | None, int]:
+        if data[offset] == 0:
+            return None, 9
+        (value,) = _FLOAT8.unpack_from(data, offset + 1)
+        return value, 9
+
+
+class TextType(ColumnType):
+    """Variable-length string, like Postgres ``text``.
+
+    ``None`` is stored as a zero-length marker distinct from the empty
+    string (length prefix ``0xFFFFFFFF``), because the paper's most
+    CPU-bound relation sets ``b`` to NULL in every tuple.
+    """
+
+    _NULL_MARKER = 0xFFFFFFFF
+
+    def __init__(self) -> None:
+        super().__init__(name="text", fixed_size=None)
+
+    def validate(self, value: Any) -> str | None:
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise SchemaError(f"text requires a str or None, got {value!r}")
+        return value
+
+    def encode(self, value: str | None) -> bytes:
+        if value is None:
+            return _LEN.pack(self._NULL_MARKER)
+        raw = value.encode("utf-8")
+        if len(raw) >= self._NULL_MARKER:
+            raise SchemaError("text value too large to encode")
+        return _LEN.pack(len(raw)) + raw
+
+    def decode(self, data: bytes, offset: int) -> tuple[str | None, int]:
+        (length,) = _LEN.unpack_from(data, offset)
+        if length == self._NULL_MARKER:
+            return None, 4
+        start = offset + 4
+        return data[start : start + length].decode("utf-8"), 4 + length
+
+    def encoded_size(self, value: str | None) -> int:
+        if value is None:
+            return 4
+        return 4 + len(value.encode("utf-8"))
+
+
+#: Singleton instances — types are stateless, share them.
+INT4 = Int4Type()
+FLOAT8 = Float8Type()
+TEXT = TextType()
+
+_BY_NAME = {t.name: t for t in (INT4, FLOAT8, TEXT)}
+
+
+def type_by_name(name: str) -> ColumnType:
+    """Look up a column type by its SQL-ish name.
+
+    Raises:
+        SchemaError: if the name is not a known type.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise SchemaError(f"unknown column type: {name!r}") from None

@@ -1,0 +1,95 @@
+"""IO-bound / CPU-bound task classification (Section 2.2, Figure 3).
+
+"Suppose that the total disk i/o bandwidth is B (ios/second) and the
+total number of processors is N.  We call task f_i IO-bound if
+C_i > B/N and CPU-bound if otherwise."
+
+When a task runs with parallelism ``x`` its io rate is ``C_i * x``; the
+line ``y = C_i * x`` lives in the rectangle bounded by ``N`` and ``B``.
+IO-bound tasks sit above the diagonal and hit the bandwidth wall first
+(``maxp = B / C_i``); CPU-bound tasks hit the processor wall
+(``maxp = N``).
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from .task import IOPattern, Task
+
+
+def pattern_bandwidth(machine: MachineConfig, pattern: IOPattern) -> float:
+    """Aggregate disk bandwidth available to a task of one io pattern.
+
+    Sequential-io tasks see the almost-sequential bandwidth (the
+    paper's working ``B``: parallel backends reorder requests);
+    random-io tasks can never exceed the random bandwidth.
+    """
+    if pattern == IOPattern.RANDOM:
+        return machine.total_random_bandwidth
+    return machine.io_bandwidth
+
+
+def is_io_bound(task: Task, machine: MachineConfig) -> bool:
+    """``C_i > B/N`` — IO-bound per the paper's definition."""
+    return task.io_rate > machine.bound_threshold
+
+
+def is_cpu_bound(task: Task, machine: MachineConfig) -> bool:
+    """``C_i <= B/N`` — the complement of :func:`is_io_bound`."""
+    return not is_io_bound(task, machine)
+
+
+def max_parallelism(task: Task, machine: MachineConfig) -> float:
+    """``maxp(f_i)`` — the task's maximum useful degree of parallelism.
+
+    IO-bound tasks are limited by bandwidth (``B / C_i``); CPU-bound
+    tasks by the processor count (``N``).  The bandwidth wall uses the
+    bandwidth matching the task's io pattern.  The value is continuous;
+    use :func:`int_parallelism` when an integral degree is needed.
+    """
+    if task.io_rate <= 0:
+        return float(machine.processors)
+    bandwidth = pattern_bandwidth(machine, task.io_pattern)
+    return min(float(machine.processors), bandwidth / task.io_rate)
+
+
+def int_parallelism(x: float, machine: MachineConfig) -> int:
+    """Round a continuous degree of parallelism to a feasible integer."""
+    return max(1, min(machine.processors, int(x)))
+
+
+def split_by_bound(
+    tasks, machine: MachineConfig
+) -> tuple[list[Task], list[Task]]:
+    """Partition tasks into (IO-bound ``S_io``, CPU-bound ``S_cpu``)."""
+    io_bound: list[Task] = []
+    cpu_bound: list[Task] = []
+    for task in tasks:
+        if is_io_bound(task, machine):
+            io_bound.append(task)
+        else:
+            cpu_bound.append(task)
+    return io_bound, cpu_bound
+
+
+def most_io_bound(tasks) -> Task:
+    """The task with the greatest io rate (the paper's pairing pick)."""
+    return max(tasks, key=lambda t: t.io_rate)
+
+
+def most_cpu_bound(tasks) -> Task:
+    """The task with the smallest io rate."""
+    return min(tasks, key=lambda t: t.io_rate)
+
+
+def classification_line(task: Task, machine: MachineConfig, points: int = 20):
+    """Sample the Figure-3 line ``y = C_i * x`` inside the (N, B) box.
+
+    Returns ``[(x, io_rate_at_x), ...]`` up to the task's maxp — the
+    data behind Figure 3, used by the fig3 bench.
+    """
+    maxp = max_parallelism(task, machine)
+    if points < 2:
+        points = 2
+    step = maxp / (points - 1)
+    return [(i * step, task.io_rate * i * step) for i in range(points)]

@@ -1,0 +1,419 @@
+"""The three scheduling algorithms of Section 3.
+
+* **INTRA-ONLY** — "execute tasks one by one using intra-operation
+  parallelism only."
+* **INTER-WITHOUT-ADJ** — pair tasks at the IO-CPU balance point, but
+  never adjust a running task: on a completion, "simply start the task
+  that can get closest to maximum utilization point if executed using
+  the currently available processors in parallel with the running task."
+* **INTER-WITH-ADJ** — the paper's adaptive algorithm (Section 2.5):
+  pair the most IO-bound with the most CPU-bound task at their balance
+  point, and *dynamically adjust* the degrees of parallelism on every
+  completion to stay at the balance point.
+
+Policies are decision procedures driven by an execution engine (the
+fluid simulator, the page-level micro simulator or the real
+multiprocessing executor).  On every engine event the policy sees the
+engine state and returns Start/Adjust actions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..config import MachineConfig
+from ..errors import SchedulingError
+from .balance import (
+    BalancePoint,
+    balance_point,
+    inter_time,
+    inter_time_realizable,
+    intra_time,
+)
+from .classify import is_io_bound, max_parallelism
+from .task import Task
+
+
+@dataclass(frozen=True)
+class Start:
+    """Begin executing ``task`` with ``parallelism`` slaves."""
+
+    task: Task
+    parallelism: float
+
+
+@dataclass(frozen=True)
+class Adjust:
+    """Change a *running* task's degree of parallelism."""
+
+    task: Task
+    parallelism: float
+
+
+Action = Start | Adjust
+
+
+class RunningTaskView(Protocol):
+    """What a policy may observe about a running task."""
+
+    task: Task
+    parallelism: float
+
+    @property
+    def remaining_seq_time(self) -> float:
+        """Estimated sequential-seconds of work left."""
+        ...
+
+
+class EngineState(Protocol):
+    """What a policy may observe about the engine."""
+
+    machine: MachineConfig
+
+    @property
+    def now(self) -> float: ...
+
+    @property
+    def running(self) -> Sequence[RunningTaskView]: ...
+
+    @property
+    def pending(self) -> Sequence[Task]: ...
+
+
+class SchedulingPolicy:
+    """Base class.  Subclasses override :meth:`decide`."""
+
+    name = "abstract"
+
+    def decide(self, state: EngineState) -> list[Action]:
+        """Called at start, on every arrival and on every completion."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run."""
+
+
+def memory_fits(machine: MachineConfig, *tasks: Task) -> bool:
+    """Do these tasks' working sets fit in the machine's work memory?
+
+    "We cannot run two hashjoins in parallel unless there is enough
+    memory for both hash tables" — the constraint the paper leaves to
+    future work, honoured by the memory-aware policies.
+    """
+    return sum(t.memory_bytes for t in tasks) <= machine.work_memory_bytes
+
+
+def _clamp(x: float, machine: MachineConfig, *, integral: bool) -> float:
+    """Clamp a degree of parallelism into [1, N], optionally integral."""
+    x = max(1.0, min(float(machine.processors), x))
+    if integral:
+        return float(max(1, math.floor(x)))
+    return x
+
+
+class IntraOnlyPolicy(SchedulingPolicy):
+    """One task at a time at its maximum intra-operation parallelism."""
+
+    name = "INTRA-ONLY"
+
+    def __init__(self, *, integral: bool = False) -> None:
+        self.integral = integral
+
+    def decide(self, state: EngineState) -> list[Action]:
+        if state.running or not state.pending:
+            return []
+        task = state.pending[0]
+        x = _clamp(max_parallelism(task, state.machine), state.machine, integral=self.integral)
+        return [Start(task, x)]
+
+
+class InterWithAdjPolicy(SchedulingPolicy):
+    """The paper's adaptive scheduling algorithm (Section 2.5).
+
+    Args:
+        integral: round degrees of parallelism down to integers (the
+            real system must; the paper's algebra is continuous).
+        use_effective_bandwidth: apply the sequential-vs-random
+            bandwidth correction when computing balance points.
+        pairing: ``"extreme"`` pairs most-IO-bound with most-CPU-bound
+            (the paper); ``"fifo"`` pairs arrival-order heads
+            (ablation); ``"sjf"`` pairs shortest jobs first — the
+            paper's multi-user heuristic "to minimize the response time
+            of individual queries instead of the total elapsed time".
+    """
+
+    name = "INTER-WITH-ADJ"
+
+    def __init__(
+        self,
+        *,
+        integral: bool = False,
+        use_effective_bandwidth: bool = True,
+        pairing: str = "extreme",
+    ) -> None:
+        if pairing not in ("extreme", "fifo", "sjf"):
+            raise SchedulingError(f"unknown pairing strategy: {pairing!r}")
+        self.integral = integral
+        self.use_effective_bandwidth = use_effective_bandwidth
+        self.pairing = pairing
+        self._solo_until_done: set[int] = set()
+
+    def reset(self) -> None:
+        self._solo_until_done.clear()
+
+    # -- queue views -------------------------------------------------------------
+
+    def _queues(self, state: EngineState) -> tuple[list[Task], list[Task]]:
+        io_q = [t for t in state.pending if is_io_bound(t, state.machine)]
+        cpu_q = [t for t in state.pending if not is_io_bound(t, state.machine)]
+        if self.pairing == "extreme":
+            io_q.sort(key=lambda t: -t.io_rate)
+            cpu_q.sort(key=lambda t: t.io_rate)
+        elif self.pairing == "sjf":
+            io_q.sort(key=lambda t: t.seq_time)
+            cpu_q.sort(key=lambda t: t.seq_time)
+        return io_q, cpu_q
+
+    def _pair_actions(
+        self,
+        state: EngineState,
+        candidate: Task,
+        partner: RunningTaskView | None,
+    ) -> list[Action] | None:
+        """Try to run ``candidate`` against ``partner`` (or a fresh pair).
+
+        Returns None when pairing is not worthwhile.
+        """
+        machine = state.machine
+        if partner is None:
+            return None
+        if not memory_fits(machine, candidate, partner.task):
+            return None
+        point = balance_point(
+            candidate,
+            partner.task,
+            machine,
+            use_effective_bandwidth=self.use_effective_bandwidth,
+        )
+        if point is None:
+            return None
+        # Worthwhileness: compare against intra-only for the pair, using
+        # the partner's remaining work and the *realizable* allocation
+        # (clamped to whole-machine reality), so the decision prices the
+        # pairing exactly as the engine will run it.
+        remaining_partner = Task(
+            name=partner.task.name,
+            seq_time=max(partner.remaining_seq_time, 1e-12),
+            io_count=partner.task.io_rate * max(partner.remaining_seq_time, 1e-12),
+            io_pattern=partner.task.io_pattern,
+        )
+        remaining_point = balance_point(
+            candidate,
+            remaining_partner,
+            machine,
+            use_effective_bandwidth=self.use_effective_bandwidth,
+        )
+        if remaining_point is None:
+            return None
+        paired = inter_time_realizable(
+            remaining_point,
+            machine,
+            use_effective_bandwidth=self.use_effective_bandwidth,
+            integral=self.integral,
+        )
+        alone = intra_time(candidate, machine) + intra_time(remaining_partner, machine)
+        if paired >= alone:
+            return None
+        x_new = _clamp(point.parallelism_of(candidate), machine, integral=self.integral)
+        x_partner = _clamp(
+            point.parallelism_of(partner.task), machine, integral=self.integral
+        )
+        actions: list[Action] = []
+        if abs(x_partner - partner.parallelism) > 1e-9:
+            actions.append(Adjust(partner.task, x_partner))
+        actions.append(Start(candidate, x_new))
+        return actions
+
+    def _fresh_pair(self, state: EngineState) -> list[Action] | None:
+        """Start a new IO/CPU pair from the queues (steps 2-4).
+
+        Candidates are tried in heuristic order; a pair must fit in
+        work memory and be worthwhile.
+        """
+        machine = state.machine
+        io_q, cpu_q = self._queues(state)
+        if not io_q or not cpu_q:
+            return None
+        for fi in io_q:
+            for fj in cpu_q:
+                if not memory_fits(machine, fi, fj):
+                    continue
+                point = balance_point(
+                    fi,
+                    fj,
+                    machine,
+                    use_effective_bandwidth=self.use_effective_bandwidth,
+                )
+                if point is None:
+                    continue
+                paired = inter_time_realizable(
+                    point,
+                    machine,
+                    use_effective_bandwidth=self.use_effective_bandwidth,
+                    integral=self.integral,
+                )
+                alone = intra_time(fi, machine) + intra_time(fj, machine)
+                if paired < alone:
+                    return [
+                        Start(fi, _clamp(point.x_io, machine, integral=self.integral)),
+                        Start(fj, _clamp(point.x_cpu, machine, integral=self.integral)),
+                    ]
+            break  # most-IO-bound head found no partner: run it solo
+        # Step 4 "otherwise": execute f_i alone to completion, then f_j.
+        fi = io_q[0]
+        self._solo_until_done.add(fi.task_id)
+        x = _clamp(max_parallelism(fi, machine), machine, integral=self.integral)
+        return [Start(fi, x)]
+
+    def decide(self, state: EngineState) -> list[Action]:
+        machine = state.machine
+        if len(state.running) >= 2:
+            return []
+        if len(state.running) == 1:
+            partner = state.running[0]
+            if partner.task.task_id in self._solo_until_done:
+                return []
+            io_q, cpu_q = self._queues(state)
+            opposite = cpu_q if is_io_bound(partner.task, machine) else io_q
+            for candidate in opposite:
+                actions = self._pair_actions(state, candidate, partner)
+                if actions is not None:
+                    return actions
+            # Step 8 flavour: nothing to pair with — give the lone task
+            # its full intra-operation parallelism (this is the dynamic
+            # adjustment INTER-WITHOUT-ADJ lacks).
+            x = _clamp(
+                max_parallelism(partner.task, machine), machine, integral=self.integral
+            )
+            if abs(x - partner.parallelism) > 1e-9:
+                return [Adjust(partner.task, x)]
+            return []
+        # Nothing running.
+        if not state.pending:
+            return []
+        self._solo_until_done.clear()
+        actions = self._fresh_pair(state)
+        if actions is not None:
+            return actions
+        # One-sided queue (step 8): intra-operation parallelism only.
+        io_q, cpu_q = self._queues(state)
+        queue = io_q or cpu_q
+        task = queue[0]
+        x = _clamp(max_parallelism(task, machine), machine, integral=self.integral)
+        return [Start(task, x)]
+
+
+class InterWithoutAdjPolicy(SchedulingPolicy):
+    """INTER-WITHOUT-ADJ: pair at the balance point, never adjust.
+
+    "When one task finishes first, no dynamic parallelism adjustment is
+    performed.  The master backend will simply start the task that can
+    get closest to maximum utilization point if executed using the
+    currently available processors in parallel with the running task."
+    """
+
+    name = "INTER-WITHOUT-ADJ"
+
+    def __init__(
+        self,
+        *,
+        integral: bool = False,
+        use_effective_bandwidth: bool = True,
+    ) -> None:
+        self.integral = integral
+        self.use_effective_bandwidth = use_effective_bandwidth
+
+    def decide(self, state: EngineState) -> list[Action]:
+        machine = state.machine
+        if not state.pending:
+            return []
+        if not state.running:
+            # Initial pairing: identical to the adaptive algorithm.
+            io_q = sorted(
+                (t for t in state.pending if is_io_bound(t, machine)),
+                key=lambda t: -t.io_rate,
+            )
+            cpu_q = sorted(
+                (t for t in state.pending if not is_io_bound(t, machine)),
+                key=lambda t: t.io_rate,
+            )
+            if io_q and cpu_q and memory_fits(machine, io_q[0], cpu_q[0]):
+                point = balance_point(
+                    io_q[0],
+                    cpu_q[0],
+                    machine,
+                    use_effective_bandwidth=self.use_effective_bandwidth,
+                )
+                if point is not None and min(point.x_io, point.x_cpu) >= 1.0:
+                    return [
+                        Start(io_q[0], _clamp(point.x_io, machine, integral=self.integral)),
+                        Start(cpu_q[0], _clamp(point.x_cpu, machine, integral=self.integral)),
+                    ]
+            queue = io_q or cpu_q
+            task = queue[0]
+            x = _clamp(max_parallelism(task, machine), machine, integral=self.integral)
+            return [Start(task, x)]
+        if len(state.running) >= 2:
+            return []
+        # One task running at a frozen parallelism: fill the gap with
+        # the pending task closest to the maximum utilization point.
+        partner = state.running[0]
+        available = machine.processors - partner.parallelism
+        if available < 1.0 - 1e-9:
+            return []
+        best: tuple[float, Task, float] | None = None
+        for task in state.pending:
+            if not memory_fits(machine, task, partner.task):
+                continue
+            x = min(available, max_parallelism(task, machine))
+            x = _clamp(x, machine, integral=self.integral)
+            if x > available + 1e-9:
+                continue
+            distance = self._distance_to_corner(machine, partner, task, x)
+            if best is None or distance < best[0]:
+                best = (distance, task, x)
+        if best is None:
+            return []
+        __, task, x = best
+        return [Start(task, x)]
+
+    @staticmethod
+    def _distance_to_corner(
+        machine: MachineConfig,
+        partner: RunningTaskView,
+        task: Task,
+        x: float,
+    ) -> float:
+        """Normalized distance from the operating point to (N, B)."""
+        total_x = partner.parallelism + x
+        total_io = partner.task.io_rate * partner.parallelism + task.io_rate * x
+        dx = (machine.processors - total_x) / machine.processors
+        dio = (machine.io_bandwidth - total_io) / machine.io_bandwidth
+        # Overshooting the bandwidth is as bad as undershooting.
+        return math.hypot(dx, abs(dio))
+
+
+def policy_by_name(name: str, **kwargs) -> SchedulingPolicy:
+    """Construct one of the three policies from its paper name."""
+    table = {
+        "INTRA-ONLY": IntraOnlyPolicy,
+        "INTER-WITHOUT-ADJ": InterWithoutAdjPolicy,
+        "INTER-WITH-ADJ": InterWithAdjPolicy,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise SchedulingError(f"unknown policy: {name!r}") from None
+    return cls(**kwargs)

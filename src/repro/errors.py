@@ -1,0 +1,128 @@
+"""Exception hierarchy for the XPRS reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  Sub-hierarchies mirror the
+subsystems: storage, catalog, execution, optimization and scheduling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine or system configuration was supplied."""
+
+
+# --------------------------------------------------------------------------
+# catalog
+
+
+class CatalogError(ReproError):
+    """Base class for catalog errors."""
+
+
+class UnknownRelationError(CatalogError):
+    """A relation name was not found in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(CatalogError):
+    """A column name was not found in a schema."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown column: {name!r}")
+        self.name = name
+
+
+class DuplicateRelationError(CatalogError):
+    """A relation with the same name already exists."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"relation already exists: {name!r}")
+        self.name = name
+
+
+class SchemaError(CatalogError):
+    """A schema definition or a tuple/schema mismatch is invalid."""
+
+
+# --------------------------------------------------------------------------
+# storage
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer errors."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into the remaining free space of a page."""
+
+
+class RecordTooLargeError(StorageError):
+    """A record cannot fit into any page, even an empty one."""
+
+
+class InvalidSlotError(StorageError):
+    """A slot id does not exist (or was deleted) on a page."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a request (e.g. all pages pinned)."""
+
+
+class IndexError_(StorageError):
+    """A B+tree invariant was violated or a bad key was supplied."""
+
+
+# --------------------------------------------------------------------------
+# execution
+
+
+class ExecutionError(ReproError):
+    """Base class for executor errors."""
+
+
+class ExpressionError(ExecutionError):
+    """An expression could not be evaluated against a tuple."""
+
+
+class OperatorStateError(ExecutionError):
+    """An operator was used outside its open/next/close protocol."""
+
+
+# --------------------------------------------------------------------------
+# plans and optimization
+
+
+class PlanError(ReproError):
+    """A plan tree is malformed (e.g. wrong arity for an operator)."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for a query."""
+
+
+# --------------------------------------------------------------------------
+# scheduling and simulation
+
+
+class SchedulingError(ReproError):
+    """Base class for scheduler errors."""
+
+
+class InfeasibleBalanceError(SchedulingError):
+    """No IO-CPU balance point exists for the given pair of tasks."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """A master/slave message violated the adjustment protocol."""

@@ -1,0 +1,23 @@
+"""Executor operators."""
+
+from .aggregate import Aggregate, AggregateSpec
+from .joins import HashJoin, MergeJoin, NestLoopJoin
+from .misc import Filter, Limit, Materialize, Project, RowSource
+from .scans import IndexScan, SeqScan
+from .sort import Sort
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "Filter",
+    "HashJoin",
+    "IndexScan",
+    "Limit",
+    "Materialize",
+    "MergeJoin",
+    "NestLoopJoin",
+    "Project",
+    "RowSource",
+    "SeqScan",
+    "Sort",
+]

@@ -1,0 +1,159 @@
+"""Aggregation operators (blocking).
+
+Supports COUNT / SUM / AVG / MIN / MAX, optionally grouped.  NULL inputs
+are skipped (SQL semantics); COUNT(*) counts rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ...catalog.schema import Column, Row, Schema
+from ...catalog.types import FLOAT8, INT4
+from ...errors import PlanError
+from ..iterator import Operator
+
+_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate: function name + input column (None = COUNT(*))."""
+
+    function: str
+    column: str | None = None
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.function not in _FUNCTIONS:
+            raise PlanError(f"unknown aggregate function: {self.function!r}")
+        if self.function != "count" and self.column is None:
+            raise PlanError(f"{self.function} requires a column")
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.column is None:
+            return f"{self.function}_all"
+        return f"{self.function}_{self.column}"
+
+
+class _Accumulator:
+    """Streaming state for one aggregate over one group."""
+
+    __slots__ = ("spec", "count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, spec: AggregateSpec) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total: Any = 0
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen = False
+
+    def add(self, value: Any) -> None:
+        if self.spec.column is not None and value is None:
+            return
+        self.count += 1
+        if self.spec.function in ("sum", "avg"):
+            self.total += value
+        elif self.spec.function == "min":
+            self.minimum = value if not self.seen else min(self.minimum, value)
+        elif self.spec.function == "max":
+            self.maximum = value if not self.seen else max(self.maximum, value)
+        self.seen = True
+
+    def result(self) -> Any:
+        f = self.spec.function
+        if f == "count":
+            return self.count
+        if not self.seen:
+            return None
+        if f == "sum":
+            return self.total
+        if f == "avg":
+            return self.total / self.count
+        if f == "min":
+            return self.minimum
+        return self.maximum
+
+
+class Aggregate(Operator):
+    """Hash aggregation, optionally grouped (blocking on open).
+
+    Output schema: the group columns (in order) followed by one column
+    per aggregate.  Ungrouped aggregation over empty input produces one
+    row (COUNT = 0, others NULL), matching SQL.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        aggregates: Sequence[AggregateSpec],
+        *,
+        group_by: Sequence[str] = (),
+    ) -> None:
+        super().__init__((child,))
+        if not aggregates:
+            raise PlanError("aggregate needs at least one AggregateSpec")
+        self.aggregates = tuple(aggregates)
+        self.group_by = tuple(group_by)
+        self._results: list[Row] | None = None
+        self._pos = 0
+
+    def _open(self) -> None:
+        child_schema = self.children[0].schema
+        assert child_schema is not None
+        self.schema = self._output_schema(child_schema)
+        group_positions = [child_schema.index_of(g) for g in self.group_by]
+        agg_positions = [
+            child_schema.index_of(a.column) if a.column is not None else None
+            for a in self.aggregates
+        ]
+        groups: dict[tuple, list[_Accumulator]] = {}
+        for row in self.children[0]:
+            key = tuple(row[i] for i in group_positions)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [_Accumulator(a) for a in self.aggregates]
+                groups[key] = accs
+            for acc, pos in zip(accs, agg_positions):
+                acc.add(row[pos] if pos is not None else 1)
+        if not groups and not self.group_by:
+            groups[()] = [_Accumulator(a) for a in self.aggregates]
+        self._results = [
+            key + tuple(acc.result() for acc in accs)
+            for key, accs in groups.items()
+        ]
+        self._pos = 0
+
+    def _output_schema(self, child_schema: Schema) -> Schema:
+        columns = [child_schema[child_schema.index_of(g)] for g in self.group_by]
+        for spec in self.aggregates:
+            if spec.function == "count":
+                ctype = INT4
+            elif spec.column is not None and spec.function in ("min", "max", "sum"):
+                ctype = child_schema[child_schema.index_of(spec.column)].type
+            else:
+                ctype = FLOAT8
+            columns.append(Column(spec.output_name, ctype))
+        return Schema(columns)
+
+    def _next(self) -> Row | None:
+        assert self._results is not None
+        if self._pos >= len(self._results):
+            return None
+        row = self._results[self._pos]
+        self._pos += 1
+        return row
+
+    def _close(self) -> None:
+        self._results = None
+
+    def __repr__(self) -> str:
+        aggs = ", ".join(a.output_name for a in self.aggregates)
+        if self.group_by:
+            return f"Aggregate({aggs} BY {', '.join(self.group_by)})"
+        return f"Aggregate({aggs})"

@@ -1,0 +1,172 @@
+"""Scan operators: sequential scan and (B+tree) index scan.
+
+Both charge their page reads to the simulated disk array, so a drained
+scan leaves behind exactly the io trace the scheduling theory reasons
+about: sequential scans issue one (striped, per-disk sequential) read
+per heap page; index scans on an unclustered index issue one random
+heap read per qualifying tuple — "the i/o rate is always high because
+index scans can follow the pointer in an index to a qualified tuple on
+a disk page" (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ...catalog.schema import Row
+from ...errors import PlanError
+from ...storage.btree import BTreeIndex
+from ...storage.heap import HeapFile
+from ..expressions import BoundExpression, Expression
+from ..iterator import Operator
+
+
+class SeqScan(Operator):
+    """Full (or page-partitioned) scan of a heap file.
+
+    Args:
+        heap: the relation to scan.
+        predicate: optional filter applied to each tuple.
+        n_partitions / partition: page partition to scan (the paper's
+            ``{p | p mod n == i}``); defaults to the whole file.
+        charge_io: whether to charge simulated page reads to the disks.
+        buffer_pool: optional shared buffer pool; hits skip the
+            simulated disk read entirely (XPRS backends share one pool
+            in shared memory).
+    """
+
+    def __init__(
+        self,
+        heap: HeapFile,
+        predicate: Expression | None = None,
+        *,
+        n_partitions: int = 1,
+        partition: int = 0,
+        charge_io: bool = True,
+        buffer_pool=None,
+    ) -> None:
+        super().__init__()
+        self.heap = heap
+        self.predicate = predicate
+        self.n_partitions = n_partitions
+        self.partition = partition
+        self.charge_io = charge_io
+        self.buffer_pool = buffer_pool
+        self.pages_read = 0
+        self._rows: Iterator[Row] | None = None
+        self._bound: BoundExpression | None = None
+
+    def _open(self) -> None:
+        self.schema = self.heap.schema
+        self.pages_read = 0
+        self._bound = (
+            self.predicate.bind(self.heap.schema) if self.predicate else None
+        )
+        self._rows = self._scan()
+
+    def _scan(self) -> Iterator[Row]:
+        pages = self.heap.partition_pages(self.n_partitions, self.partition)
+        for page_no in pages:
+            if self.buffer_pool is not None:
+                self.buffer_pool.get(self.heap, page_no)  # miss charges io
+            elif self.charge_io:
+                self.heap.read_time(page_no)
+            self.pages_read += 1
+            for __, row in self.heap.scan_pages([page_no]):
+                if self._bound is None or self._bound(row):
+                    yield row
+
+    def _next(self) -> Row | None:
+        assert self._rows is not None
+        return next(self._rows, None)
+
+    def _close(self) -> None:
+        self._rows = None
+
+    def __repr__(self) -> str:
+        name = self.heap.name or f"file{self.heap.extent.file_id}"
+        if self.n_partitions > 1:
+            return f"SeqScan({name}[{self.partition}/{self.n_partitions}])"
+        return f"SeqScan({name})"
+
+
+class IndexScan(Operator):
+    """Range scan through a B+tree, fetching tuples from the heap.
+
+    Every qualifying entry triggers one heap page read; on an
+    *unclustered* index those reads are effectively random, which is
+    what makes the paper's index-scan tasks IO-bound.
+
+    Args:
+        heap: the base relation.
+        index: B+tree over ``column``.
+        low / high: key range (either may be None).
+        predicate: optional residual filter on fetched tuples.
+        charge_io: whether to charge simulated heap reads.
+        buffer_pool: optional shared buffer pool (hits skip the io).
+    """
+
+    def __init__(
+        self,
+        heap: HeapFile,
+        index: BTreeIndex,
+        *,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        predicate: Expression | None = None,
+        charge_io: bool = True,
+        buffer_pool=None,
+    ) -> None:
+        super().__init__()
+        if index is None:
+            raise PlanError("IndexScan requires an index")
+        self.heap = heap
+        self.index = index
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.predicate = predicate
+        self.charge_io = charge_io
+        self.buffer_pool = buffer_pool
+        self.heap_reads = 0
+        self._rows: Iterator[Row] | None = None
+        self._bound: BoundExpression | None = None
+
+    def _open(self) -> None:
+        self.schema = self.heap.schema
+        self.heap_reads = 0
+        self._bound = (
+            self.predicate.bind(self.heap.schema) if self.predicate else None
+        )
+        self._rows = self._scan()
+
+    def _scan(self) -> Iterator[Row]:
+        entries = self.index.range_scan(
+            self.low,
+            self.high,
+            low_inclusive=self.low_inclusive,
+            high_inclusive=self.high_inclusive,
+        )
+        for __, rid in entries:
+            if self.buffer_pool is not None:
+                self.buffer_pool.get(self.heap, rid.page_no)
+            elif self.charge_io:
+                self.heap.read_time(rid.page_no)
+            self.heap_reads += 1
+            row = self.heap.fetch(rid)
+            if self._bound is None or self._bound(row):
+                yield row
+
+    def _next(self) -> Row | None:
+        assert self._rows is not None
+        return next(self._rows, None)
+
+    def _close(self) -> None:
+        self._rows = None
+
+    def __repr__(self) -> str:
+        name = self.heap.name or f"file{self.heap.extent.file_id}"
+        return f"IndexScan({name}, [{self.low!r}, {self.high!r}])"

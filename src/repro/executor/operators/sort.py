@@ -1,0 +1,77 @@
+"""Sort and sorted-stream helpers (blocking)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...catalog.schema import Row
+from ...errors import PlanError
+from ..iterator import Operator
+
+_NULL_SENTINEL = object()
+
+
+def sort_key(positions: Sequence[int]):
+    """A key function ordering NULLs first, then values ascending."""
+
+    def key(row: Row):
+        return tuple(
+            (0, None) if row[i] is None else (1, row[i]) for i in positions
+        )
+
+    return key
+
+
+class Sort(Operator):
+    """In-memory sort on one or more columns (blocking on open).
+
+    Args:
+        child: input operator.
+        columns: column names to order by; NULLs sort first (ascending).
+        descending: optional per-column direction flags (default all
+            ascending).  Implemented as stable single-column passes in
+            reverse column order, so mixed directions are exact.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        columns: Sequence[str],
+        *,
+        descending: Sequence[bool] | None = None,
+    ) -> None:
+        super().__init__((child,))
+        if not columns:
+            raise PlanError("sort needs at least one column")
+        self.columns = tuple(columns)
+        if descending is None:
+            descending = [False] * len(self.columns)
+        if len(descending) != len(self.columns):
+            raise PlanError("one direction flag per sort column required")
+        self.descending = tuple(bool(d) for d in descending)
+        self._sorted: list[Row] | None = None
+        self._pos = 0
+
+    def _open(self) -> None:
+        self.schema = self.children[0].schema
+        assert self.schema is not None
+        rows = list(self.children[0])
+        for name, desc in reversed(list(zip(self.columns, self.descending))):
+            position = self.schema.index_of(name)
+            rows.sort(key=sort_key([position]), reverse=desc)
+        self._sorted = rows
+        self._pos = 0
+
+    def _next(self) -> Row | None:
+        assert self._sorted is not None
+        if self._pos >= len(self._sorted):
+            return None
+        row = self._sorted[self._pos]
+        self._pos += 1
+        return row
+
+    def _close(self) -> None:
+        self._sorted = None
+
+    def __repr__(self) -> str:
+        return f"Sort({', '.join(self.columns)})"

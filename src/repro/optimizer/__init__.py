@@ -1,0 +1,38 @@
+"""Optimizer subsystem: query specs, enumeration, parcost, two-phase."""
+
+from .enumeration import (
+    JOIN_METHODS,
+    access_paths,
+    enumerate_all_bushy,
+    enumerate_space,
+    join_candidates,
+)
+from .multiquery import (
+    MultiQueryResult,
+    MultiQueryScheduler,
+    QueryOutcome,
+    QuerySubmission,
+)
+from .parcost import ParallelCost, parallel_cost, parcost
+from .query import JoinPredicate, Query
+from .twophase import OptimizedQuery, OptimizerMode, TwoPhaseOptimizer
+
+__all__ = [
+    "JOIN_METHODS",
+    "JoinPredicate",
+    "MultiQueryResult",
+    "MultiQueryScheduler",
+    "OptimizedQuery",
+    "OptimizerMode",
+    "ParallelCost",
+    "Query",
+    "QueryOutcome",
+    "QuerySubmission",
+    "TwoPhaseOptimizer",
+    "access_paths",
+    "enumerate_all_bushy",
+    "enumerate_space",
+    "join_candidates",
+    "parallel_cost",
+    "parcost",
+]

@@ -1,0 +1,249 @@
+"""Join-order enumeration: access paths, join methods, plan spaces.
+
+The conventional (System-R style) layer under the two-phase strategy:
+
+* access paths — sequential scan with the pushed-down selection, plus
+  an index scan when an index covers a bounded column;
+* join methods — hash join, merge join (with sorts), nested loops;
+* plan spaces — ``left-deep`` (the [HONG91] space: the inner of every
+  join is a base relation), ``right-deep`` (the [SCHN90] shape: the
+  outer of every join is a base relation, so hash-join builds stack up
+  and the probes pipeline) and ``bushy`` (joins over joins, Section 4;
+  subsumes both).
+
+Dynamic programming over connected subsets, cross products avoided
+whenever the join graph is connected.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Iterator
+
+from ..catalog.catalog import Catalog
+from ..errors import OptimizerError
+from ..executor.expressions import column_bounds
+from ..plans import nodes as pn
+from .query import JoinPredicate, Query
+
+#: Join method names accepted by the enumerator.
+JOIN_METHODS = ("hash", "merge", "nestloop")
+
+PlanCost = Callable[[pn.PlanNode], float]
+
+
+def access_paths(query: Query, relation: str, catalog: Catalog) -> list[pn.PlanNode]:
+    """All access paths for one base relation.
+
+    Always the predicate-pushing SeqScan; an IndexScan for each index
+    whose column is bounded by the selection (or, unbounded, when the
+    index is clustered — a cheap ordered full scan).
+    """
+    predicate = query.selections.get(relation)
+    paths: list[pn.PlanNode] = [pn.SeqScanNode(relation, predicate)]
+    entry = catalog.table(relation)
+    for index in entry.indexes.values():
+        if predicate is None:
+            continue
+        low, high = column_bounds(predicate, index.column)
+        if low is None and high is None:
+            continue
+        paths.append(
+            pn.IndexScanNode(
+                relation,
+                index.name,
+                low=low,
+                high=high,
+                predicate=predicate,
+            )
+        )
+    return paths
+
+
+def join_candidates(
+    outer: pn.PlanNode,
+    inner: pn.PlanNode,
+    predicates: list[JoinPredicate],
+    outer_rels: frozenset[str],
+    *,
+    methods: tuple[str, ...] = JOIN_METHODS,
+) -> Iterator[pn.PlanNode]:
+    """All join operators combining two subplans.
+
+    With an equi-join predicate available: hash, merge (adding sorts)
+    and nested loops.  Without one (cross product): nested loops only.
+    """
+    if not predicates:
+        if "nestloop" in methods:
+            yield pn.NestLoopJoinNode(outer, inner, None)
+        return
+    primary = predicates[0]
+    outer_col, inner_col = primary.oriented(outer_rels)
+    # Extra predicates become residual filters on top of the join.
+
+    def residual(join: pn.PlanNode) -> pn.PlanNode:
+        from ..executor.expressions import And, col, eq
+
+        extra = predicates[1:]
+        if not extra:
+            return join
+        conjs = []
+        for predicate in extra:
+            a, b = predicate.oriented(outer_rels)
+            conjs.append(eq(col(a), col(b)))
+        return pn.FilterNode(join, And(*conjs) if len(conjs) > 1 else conjs[0])
+
+    if "hash" in methods:
+        yield residual(pn.HashJoinNode(outer, inner, outer_col, inner_col))
+    if "merge" in methods:
+        yield residual(
+            pn.MergeJoinNode(
+                pn.SortNode(outer, (outer_col,)),
+                pn.SortNode(inner, (inner_col,)),
+                outer_col,
+                inner_col,
+            )
+        )
+    if "nestloop" in methods:
+        from ..executor.expressions import col, eq
+
+        yield residual(
+            pn.NestLoopJoinNode(outer, inner, eq(col(outer_col), col(inner_col)))
+        )
+
+
+def _proper_subsets(subset: frozenset[str]) -> Iterator[tuple[frozenset[str], frozenset[str]]]:
+    """Unordered 2-partitions of ``subset`` (each yielded once)."""
+    items = sorted(subset)
+    anchor = items[0]
+    rest = items[1:]
+    for size in range(0, len(rest) + 1):
+        for combo in combinations(rest, size):
+            left = frozenset((anchor, *combo))
+            right = subset - left
+            if right:
+                yield left, right
+
+
+def enumerate_space(
+    query: Query,
+    catalog: Catalog,
+    cost: PlanCost,
+    *,
+    space: str = "bushy",
+    methods: tuple[str, ...] = JOIN_METHODS,
+    avoid_cross_products: bool = True,
+) -> pn.PlanNode:
+    """Dynamic-programming search for the cheapest plan.
+
+    Args:
+        query: the query block.
+        catalog: resolves schemas, indexes and statistics.
+        cost: plan-cost function (seqcost or parcost); lower is better.
+        space: ``"left-deep"``, ``"right-deep"`` or ``"bushy"``.
+        methods: join methods to consider.
+        avoid_cross_products: skip unconnected splits when the join
+            graph is connected.
+
+    Returns the best complete plan (projection applied when requested).
+    """
+    if space not in ("left-deep", "right-deep", "bushy"):
+        raise OptimizerError(f"unknown plan space: {space!r}")
+    query.validate(catalog)
+    relations = [frozenset([r]) for r in query.relations]
+    best: dict[frozenset[str], tuple[float, pn.PlanNode]] = {}
+    for rel_set in relations:
+        (name,) = rel_set
+        candidates = access_paths(query, name, catalog)
+        best[rel_set] = min(((cost(p), p) for p in candidates), key=lambda t: t[0])
+    full = frozenset(query.relations)
+    allow_cross = not (avoid_cross_products and query.is_connected(full))
+    for size in range(2, len(query.relations) + 1):
+        for subset in map(frozenset, combinations(sorted(full), size)):
+            if not allow_cross and not query.is_connected(subset):
+                continue
+            candidates: list[tuple[float, pn.PlanNode]] = []
+            for left, right in _proper_subsets(subset):
+                pairs = [(left, right), (right, left)]
+                for outer_set, inner_set in pairs:
+                    if space == "left-deep" and len(inner_set) != 1:
+                        continue
+                    if space == "right-deep" and len(outer_set) != 1:
+                        continue
+                    if outer_set not in best or inner_set not in best:
+                        continue
+                    predicates = query.joins_between(outer_set, inner_set)
+                    if not predicates and not allow_cross:
+                        continue
+                    outer_plan = best[outer_set][1]
+                    inner_plan = best[inner_set][1]
+                    for join in join_candidates(
+                        outer_plan, inner_plan, predicates, outer_set, methods=methods
+                    ):
+                        candidates.append((cost(join), join))
+            if candidates:
+                best[subset] = min(candidates, key=lambda t: t[0])
+    if full not in best:
+        raise OptimizerError("no plan found (disconnected join graph?)")
+    plan = best[full][1]
+    if query.projection:
+        plan = pn.ProjectNode(plan, tuple(query.projection))
+    return plan
+
+
+def enumerate_all_bushy(
+    query: Query,
+    catalog: Catalog,
+    *,
+    methods: tuple[str, ...] = ("hash",),
+    max_relations: int = 7,
+) -> Iterator[pn.PlanNode]:
+    """Yield *every* bushy plan (no pruning).
+
+    Needed because "the calculation of parcost(p, n) depends on the
+    structure of the entire plan tree which makes local pruning ...
+    infeasible" (Section 4).  Exponential: capped at ``max_relations``.
+    Projections are not applied; callers compare raw join trees.
+    """
+    if len(query.relations) > max_relations:
+        raise OptimizerError(
+            f"exhaustive enumeration capped at {max_relations} relations"
+        )
+    query.validate(catalog)
+    full = frozenset(query.relations)
+    avoid_cross = query.is_connected(full)
+    memo: dict[frozenset[str], list[pn.PlanNode]] = {}
+
+    def plans_for(subset: frozenset[str]) -> list[pn.PlanNode]:
+        if subset in memo:
+            return memo[subset]
+        if len(subset) == 1:
+            (name,) = subset
+            result = access_paths(query, name, catalog)
+        else:
+            result = []
+            for left, right in _proper_subsets(subset):
+                if avoid_cross and not (
+                    query.is_connected(left) and query.is_connected(right)
+                ):
+                    continue
+                predicates = query.joins_between(left, right)
+                if avoid_cross and not predicates:
+                    continue
+                for outer_set, inner_set in ((left, right), (right, left)):
+                    preds = query.joins_between(outer_set, inner_set)
+                    for outer_plan in plans_for(outer_set):
+                        for inner_plan in plans_for(inner_set):
+                            result.extend(
+                                join_candidates(
+                                    outer_plan,
+                                    inner_plan,
+                                    preds,
+                                    outer_set,
+                                    methods=methods,
+                                )
+                            )
+        memo[subset] = result
+        return result
+
+    yield from plans_for(full)

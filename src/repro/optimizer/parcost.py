@@ -1,0 +1,98 @@
+"""Parallel cost estimation — ``parcost(p, n)`` (Section 4).
+
+"Let T_n(S) be the elapsed time of executing a set of tasks S with n
+processors ... This formula is derived directly from our scheduling
+algorithm.  We compute parallel execution cost of a plan as
+``parcost(p, n) = T_n(F(p))``."
+
+The recursion in the paper *is* a deterministic simulation of the
+adaptive scheduling algorithm over the plan's fragments, respecting the
+order-dependencies between them.  We therefore compute it by running the
+fluid engine with the INTER-WITH-ADJ policy over the fragment tasks —
+the same machinery the runtime uses, so the estimate and the execution
+agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.catalog import Catalog
+from ..config import MachineConfig, paper_machine
+from ..core.schedulers import InterWithAdjPolicy, SchedulingPolicy
+from ..core.task import Task
+from ..plans.costing import CostModel, PlanEstimate, estimate_plan
+from ..plans.fragments import FragmentGraph, fragment_plan
+from ..plans.nodes import PlanNode
+from ..sim.fluid import FluidSimulator, ScheduleResult
+
+
+@dataclass
+class ParallelCost:
+    """The full parcost computation for one plan."""
+
+    plan: PlanNode
+    estimate: PlanEstimate
+    fragments: FragmentGraph
+    tasks: list[Task]
+    schedule: ScheduleResult
+
+    @property
+    def elapsed(self) -> float:
+        """``parcost(p, n)`` — predicted parallel elapsed time."""
+        return self.schedule.elapsed
+
+    @property
+    def seqcost(self) -> float:
+        """The conventional sequential cost of the same plan."""
+        return self.estimate.seqcost()
+
+    @property
+    def speedup(self) -> float:
+        return self.seqcost / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def parallel_cost(
+    plan: PlanNode,
+    catalog: Catalog,
+    *,
+    machine: MachineConfig | None = None,
+    cost_model: CostModel | None = None,
+    policy: SchedulingPolicy | None = None,
+) -> ParallelCost:
+    """Compute ``parcost(p, n)`` with full intermediate artifacts.
+
+    Args:
+        plan: the sequential plan to parallelize.
+        catalog: resolves statistics.
+        machine: the target machine (``n`` is its processor count).
+        cost_model: CPU-time constants for the sequential estimates.
+        policy: scheduling policy to simulate (default: the paper's
+            INTER-WITH-ADJ algorithm).
+    """
+    machine = machine or paper_machine()
+    estimate = estimate_plan(plan, catalog, cost_model=cost_model, machine=machine)
+    fragments = fragment_plan(plan, estimate)
+    tasks = fragments.to_tasks()
+    simulator = FluidSimulator(machine, adjustment_overhead=0.0)
+    schedule = simulator.run(list(tasks), policy or InterWithAdjPolicy())
+    return ParallelCost(
+        plan=plan,
+        estimate=estimate,
+        fragments=fragments,
+        tasks=tasks,
+        schedule=schedule,
+    )
+
+
+def parcost(
+    plan: PlanNode,
+    catalog: Catalog,
+    *,
+    machine: MachineConfig | None = None,
+    cost_model: CostModel | None = None,
+) -> float:
+    """``parcost(p, n)`` as a plain number (the optimizer's cost hook)."""
+    return parallel_cost(
+        plan, catalog, machine=machine, cost_model=cost_model
+    ).elapsed

@@ -1,0 +1,138 @@
+"""The two-phase optimization strategy, extended per Section 4.
+
+Phase 1 (compile time): conventional optimization of *sequential* plans.
+[HONG91] searched left-deep trees with ``seqcost``; Section 4 extends
+this to bushy trees with ``parcost`` for the single-user case.
+
+Phase 2 (run time): parallelize the chosen sequential plan — decompose
+it into fragments and schedule them with the adaptive algorithm.
+
+Three optimizer modes map onto the paper:
+
+* ``LEFT_DEEP_SEQ`` — [HONG91]: left-deep space, seqcost.  In a
+  multi-user system this is the right choice: "we rely on the tasks
+  from different queries submitted by multiple users to achieve maximum
+  resource utilizations using our scheduling algorithm."
+* ``BUSHY_SEQ`` — bushy space, still seqcost (an ablation: bushy shape
+  without parallel-aware costing).
+* ``BUSHY_PAR`` — Section 4: bushy space costed by ``parcost(p, n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..catalog.catalog import Catalog
+from ..config import MachineConfig, paper_machine
+from ..core.schedulers import SchedulingPolicy
+from ..errors import OptimizerError
+from ..plans.costing import CostModel, estimate_plan
+from ..plans.nodes import PlanNode
+from .enumeration import JOIN_METHODS, enumerate_space
+from .parcost import ParallelCost, parallel_cost, parcost
+from .query import Query
+
+
+class OptimizerMode(Enum):
+    """Which plan space and cost function the optimizer uses."""
+
+    LEFT_DEEP_SEQ = "left-deep/seqcost"
+    BUSHY_SEQ = "bushy/seqcost"
+    BUSHY_PAR = "bushy/parcost"
+
+
+@dataclass
+class OptimizedQuery:
+    """Output of the two-phase optimizer."""
+
+    query: Query
+    mode: OptimizerMode
+    plan: PlanNode
+    parallel: ParallelCost
+
+    @property
+    def predicted_elapsed(self) -> float:
+        return self.parallel.elapsed
+
+
+class TwoPhaseOptimizer:
+    """Phase-1 plan choice plus phase-2 parallelization.
+
+    Args:
+        catalog: resolves schemas, indexes, statistics.
+        machine: the run-time machine (known beforehand in the paper's
+            single-user setting).
+        cost_model: CPU constants shared by both cost functions.
+        methods: join methods the enumerator may use.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        machine: MachineConfig | None = None,
+        cost_model: CostModel | None = None,
+        methods: tuple[str, ...] = JOIN_METHODS,
+    ) -> None:
+        self.catalog = catalog
+        self.machine = machine or paper_machine()
+        self.cost_model = cost_model
+        self.methods = methods
+
+    # -- phase 1 -------------------------------------------------------------------
+
+    def choose_plan(self, query: Query, mode: OptimizerMode) -> PlanNode:
+        """Phase 1: pick the best sequential plan under ``mode``."""
+        if mode == OptimizerMode.BUSHY_PAR:
+            space = "bushy"
+            cost = lambda plan: parcost(  # noqa: E731
+                plan,
+                self.catalog,
+                machine=self.machine,
+                cost_model=self.cost_model,
+            )
+        elif mode == OptimizerMode.BUSHY_SEQ:
+            space = "bushy"
+            cost = self._seqcost
+        elif mode == OptimizerMode.LEFT_DEEP_SEQ:
+            space = "left-deep"
+            cost = self._seqcost
+        else:  # pragma: no cover - exhaustiveness guard
+            raise OptimizerError(f"unknown mode: {mode!r}")
+        return enumerate_space(
+            query, self.catalog, cost, space=space, methods=self.methods
+        )
+
+    def _seqcost(self, plan: PlanNode) -> float:
+        return estimate_plan(
+            plan, self.catalog, cost_model=self.cost_model, machine=self.machine
+        ).seqcost()
+
+    # -- phase 2 -------------------------------------------------------------------
+
+    def parallelize(
+        self, plan: PlanNode, *, policy: SchedulingPolicy | None = None
+    ) -> ParallelCost:
+        """Phase 2: fragment the plan and schedule its tasks."""
+        return parallel_cost(
+            plan,
+            self.catalog,
+            machine=self.machine,
+            cost_model=self.cost_model,
+            policy=policy,
+        )
+
+    # -- both ---------------------------------------------------------------------
+
+    def optimize(
+        self,
+        query: Query,
+        *,
+        mode: OptimizerMode = OptimizerMode.BUSHY_PAR,
+        policy: SchedulingPolicy | None = None,
+    ) -> OptimizedQuery:
+        """Run both phases and return the full result."""
+        plan = self.choose_plan(query, mode)
+        parallel = self.parallelize(plan, policy=policy)
+        return OptimizedQuery(query=query, mode=mode, plan=plan, parallel=parallel)

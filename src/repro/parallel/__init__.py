@@ -1,0 +1,31 @@
+"""Real master/slave parallel execution on multiprocessing."""
+
+from .executor import (
+    AdjustmentPlan,
+    ParallelIndexScan,
+    ParallelSeqScan,
+    ScanReport,
+)
+from .partition import (
+    PageAssignment,
+    adjusted_assignments,
+    balanced_ranges,
+    intervals_from_separators,
+    maxpage_split,
+    page_assignments,
+    repartition_intervals,
+)
+
+__all__ = [
+    "AdjustmentPlan",
+    "PageAssignment",
+    "ParallelIndexScan",
+    "ParallelSeqScan",
+    "ScanReport",
+    "adjusted_assignments",
+    "balanced_ranges",
+    "intervals_from_separators",
+    "maxpage_split",
+    "page_assignments",
+    "repartition_intervals",
+]

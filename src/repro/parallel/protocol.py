@@ -1,0 +1,109 @@
+"""Master/slave message types (Figures 5 and 6).
+
+The real multiprocessing executor and its tests speak these messages.
+Everything is a small picklable dataclass; the master sends commands
+down per-slave pipes and slaves reply on a shared report queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .partition import PageAssignment
+
+
+# -- master -> slave ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Signal:
+    """Step 1 of either protocol: 'report your position and pause-point'."""
+
+
+@dataclass(frozen=True)
+class NewPageAssignment:
+    """Figure 5 step 3: maxpage + the slave's updated stride list.
+
+    ``generation`` counts adjustments; slaves tag later reports with it
+    so the master can discard reports that predate an adjustment.
+    """
+
+    maxpage: int
+    parallelism: int
+    assignments: tuple[PageAssignment, ...]
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class NewIntervals:
+    """Figure 6 step 3: the slave's repartitioned key intervals."""
+
+    parallelism: int
+    intervals: tuple[tuple[int, int], ...]
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Terminate the slave process."""
+
+
+# -- slave -> master -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CurPage:
+    """Figure 5 step 2: the slave's current (next unclaimed) page."""
+
+    slave_id: int
+    curpage: int
+
+
+@dataclass(frozen=True)
+class RemainingIntervals:
+    """Figure 6 step 2: intervals the slave has not yet scanned."""
+
+    slave_id: int
+    intervals: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class Rows:
+    """A batch of qualifying rows produced by a slave."""
+
+    slave_id: int
+    rows: tuple = field(default_factory=tuple)
+    pages_read: int = 0
+
+
+@dataclass(frozen=True)
+class SlaveDone:
+    """The slave has exhausted its assignment.
+
+    ``generation`` is the adjustment generation the slave last saw; the
+    master ignores a SlaveDone older than its current generation (the
+    slave was re-assigned work after sending it).
+    """
+
+    slave_id: int
+    pages_read: int
+    rows_produced: int
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class SlaveError:
+    """The slave died; ``message`` is the formatted traceback."""
+
+    slave_id: int
+    message: str
+
+
+MasterMessage = Signal | NewPageAssignment | NewIntervals | Shutdown
+SlaveMessage = CurPage | RemainingIntervals | Rows | SlaveDone | SlaveError
+
+
+def orphan_residues(old_parallelism: int, new_parallelism: int) -> list[int]:
+    """Residues needing *new* slave processes after growing to n'."""
+    return [i for i in range(old_parallelism, new_parallelism)]

@@ -1,0 +1,194 @@
+"""Plan fragmentation: cutting plans into schedulable tasks.
+
+"First, the sequential plans are decomposed into plan fragments, i.e., a
+group of operations that do not contain any blocking edges. ... In other
+words plan fragments are the maximum pipelineable subgraphs of a
+sequential plan.  Plan fragments are used as the units of parallel
+execution and are also called tasks" (Section 2.1).
+
+:func:`fragment_plan` walks a plan tree, cuts it at blocking edges and
+returns a :class:`FragmentGraph` — fragments plus the precedence
+dependencies induced by the blocking edges.  With a
+:class:`~repro.plans.costing.PlanEstimate` attached, each fragment
+carries the ``(T_i, D_i, C_i)`` profile the scheduler consumes
+(:meth:`Fragment.to_task`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.task import IOPattern, Task
+from ..errors import PlanError
+from .costing import PlanEstimate, RANDOM, SEQUENTIAL
+from .nodes import PlanNode
+
+
+@dataclass
+class Fragment:
+    """A maximal pipelineable subgraph of a plan.
+
+    Attributes:
+        fragment_id: index within its FragmentGraph.
+        root: the topmost plan node of the fragment (the one whose
+            output crosses a blocking edge or is the plan's result).
+        nodes: every plan node in the fragment.
+        depends_on: fragment ids that must complete before this one can
+            start (the child sides of this fragment's blocking edges).
+    """
+
+    fragment_id: int
+    root: PlanNode
+    nodes: list[PlanNode] = field(default_factory=list)
+    depends_on: set[int] = field(default_factory=set)
+    # Filled in by profile():
+    seq_time: float = 0.0
+    io_count: float = 0.0
+    io_pattern: IOPattern = IOPattern.SEQUENTIAL
+    memory_bytes: float = 0.0
+
+    @property
+    def io_rate(self) -> float:
+        return self.io_count / self.seq_time if self.seq_time > 0 else 0.0
+
+    def to_task(self, *, name: str | None = None) -> Task:
+        """The scheduler-level task for this fragment."""
+        if self.seq_time <= 0:
+            raise PlanError(
+                f"fragment {self.fragment_id} has no cost profile; "
+                "fragment the plan with a PlanEstimate"
+            )
+        return Task(
+            name=name or f"frag{self.fragment_id}({self.root.label()})",
+            seq_time=self.seq_time,
+            io_count=self.io_count,
+            io_pattern=self.io_pattern,
+            memory_bytes=self.memory_bytes,
+            payload=self,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Fragment({self.fragment_id}, root={self.root.label()}, "
+            f"{len(self.nodes)} nodes, deps={sorted(self.depends_on)})"
+        )
+
+
+@dataclass
+class FragmentGraph:
+    """The fragments of one plan plus their precedence DAG."""
+
+    plan: PlanNode
+    fragments: list[Fragment]
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    @property
+    def root_fragment(self) -> Fragment:
+        """The fragment containing the plan root (always fragment 0)."""
+        return self.fragments[0]
+
+    def fragment_of(self, node: PlanNode) -> Fragment:
+        """The fragment containing ``node``."""
+        for fragment in self.fragments:
+            if any(n.node_id == node.node_id for n in fragment.nodes):
+                return fragment
+        raise PlanError(f"node {node!r} not in any fragment")
+
+    def ready(self, completed: set[int]) -> list[Fragment]:
+        """Fragments whose dependencies are all in ``completed``."""
+        return [
+            f
+            for f in self.fragments
+            if f.fragment_id not in completed and f.depends_on <= completed
+        ]
+
+    def topological_order(self) -> list[Fragment]:
+        """Dependencies-first ordering (raises on cycles, which cannot
+        occur for tree plans but is checked anyway)."""
+        order: list[Fragment] = []
+        completed: set[int] = set()
+        remaining = {f.fragment_id for f in self.fragments}
+        while remaining:
+            batch = [f for f in self.ready(completed) if f.fragment_id in remaining]
+            if not batch:
+                raise PlanError("fragment dependency cycle")
+            for fragment in batch:
+                order.append(fragment)
+                completed.add(fragment.fragment_id)
+                remaining.discard(fragment.fragment_id)
+        return order
+
+    def to_tasks(self) -> list[Task]:
+        """Scheduler tasks for every fragment, wired with the
+        order-dependencies induced by the blocking edges."""
+        tasks = [f.to_task() for f in self.fragments]
+        by_fragment = {f.fragment_id: t.task_id for f, t in zip(self.fragments, tasks)}
+        return [
+            task.with_dependencies(by_fragment[d] for d in fragment.depends_on)
+            for fragment, task in zip(self.fragments, tasks)
+        ]
+
+
+def fragment_plan(
+    plan: PlanNode, estimate: PlanEstimate | None = None
+) -> FragmentGraph:
+    """Cut ``plan`` at its blocking edges.
+
+    With ``estimate`` supplied, each fragment gets its ``(T_i, D_i)``
+    profile: the sum of its nodes' CPU and io costs, io pattern by
+    majority of io volume.
+    """
+    fragments: list[Fragment] = []
+
+    def new_fragment(root: PlanNode) -> Fragment:
+        fragment = Fragment(fragment_id=len(fragments), root=root)
+        fragments.append(fragment)
+        return fragment
+
+    def assign(node: PlanNode, fragment: Fragment) -> None:
+        fragment.nodes.append(node)
+        blocking = set(node.blocking_children())
+        for i, child in enumerate(node.children):
+            if i in blocking:
+                child_fragment = new_fragment(child)
+                fragment.depends_on.add(child_fragment.fragment_id)
+                assign(child, child_fragment)
+            else:
+                assign(child, fragment)
+
+    assign(plan, new_fragment(plan))
+    if estimate is not None:
+        for fragment in fragments:
+            _profile(fragment, estimate)
+    return FragmentGraph(plan=plan, fragments=fragments)
+
+
+def _profile(fragment: Fragment, estimate: PlanEstimate) -> None:
+    """Fill in (T, D, pattern) from per-node estimates."""
+    cpu = 0.0
+    io_time = 0.0
+    ios = 0.0
+    seq_ios = 0.0
+    random_ios = 0.0
+    memory = 0.0
+    for node in fragment.nodes:
+        node_estimate = estimate.node(node)
+        cpu += node_estimate.cpu_time
+        io_time += estimate.io_time(node_estimate)
+        ios += node_estimate.ios
+        memory += node_estimate.memory_bytes
+        if node_estimate.io_pattern == SEQUENTIAL:
+            seq_ios += node_estimate.ios
+        elif node_estimate.io_pattern == RANDOM:
+            random_ios += node_estimate.ios
+    # Working memory (hash tables, sort buffers) is charged to the
+    # fragment containing the consuming node — the table must be
+    # resident while that fragment runs.
+    fragment.seq_time = max(cpu + io_time, 1e-9)
+    fragment.io_count = ios
+    fragment.memory_bytes = memory
+    fragment.io_pattern = (
+        IOPattern.RANDOM if random_ios > seq_ios else IOPattern.SEQUENTIAL
+    )

@@ -1,0 +1,13 @@
+"""Simulation engines: the fluid-rate engine and the page-level micro engine."""
+
+from .fluid import FluidSimulator, ScheduleResult, TaskRecord
+from .micro import MicroSimulator, ScanSpec, spec_for_io_rate
+
+__all__ = [
+    "FluidSimulator",
+    "MicroSimulator",
+    "ScanSpec",
+    "ScheduleResult",
+    "TaskRecord",
+    "spec_for_io_rate",
+]

@@ -1,0 +1,331 @@
+"""The fluid-rate execution engine.
+
+Tasks progress as continuous flows: a task running with parallelism
+``x`` completes ``x`` sequential-seconds of work per wall second (the
+near-linear intra-operation speedup measured in [HONG91]), unless the
+disks are saturated, in which case every task slows proportionally.
+Disk saturation uses the same effective-bandwidth model the balance
+solver uses, so a pair placed at its balance point runs unthrottled.
+
+The engine drives a :class:`~repro.core.schedulers.SchedulingPolicy` at
+every event (start, arrival, completion) and records a full trace:
+per-task start/finish times, parallelism history, adjustment count and
+resource-utilization integrals.
+
+This is the substrate for the Figure-7 experiment; the page-level
+micro simulator (``repro.sim.micro``) cross-checks it with explicit
+slave backends and adjustment protocols.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..core.balance import effective_bandwidth_mix
+from ..core.schedulers import Action, Adjust, SchedulingPolicy, Start
+from ..core.task import IOPattern, Task
+from ..errors import SimulationError
+
+#: Safety valve: a run issuing more events than this is considered hung.
+_MAX_EVENTS = 1_000_000
+
+_EPS = 1e-9
+
+
+@dataclass(eq=False)
+class _Running:
+    """Engine-internal record of a running task."""
+
+    task: Task
+    parallelism: float
+    remaining: float  # sequential-seconds of work left
+    started_at: float
+    history: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def remaining_seq_time(self) -> float:
+        return self.remaining
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Trace of one completed task."""
+
+    task: Task
+    started_at: float
+    finished_at: float
+    parallelism_history: tuple[tuple[float, float], ...]
+
+    @property
+    def response_time(self) -> float:
+        """Completion minus arrival (multi-user metric)."""
+        return self.finished_at - self.task.arrival_time
+
+    @property
+    def wait_time(self) -> float:
+        return self.started_at - self.task.arrival_time
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one simulated run."""
+
+    policy_name: str
+    elapsed: float
+    records: list[TaskRecord]
+    adjustments: int
+    cpu_busy: float  # processor-seconds of useful work
+    io_served: float  # io requests served
+    machine: MachineConfig
+    peak_memory: float = 0.0  # largest co-resident working set (bytes)
+
+    @property
+    def cpu_utilization(self) -> float:
+        denom = self.machine.processors * self.elapsed
+        return self.cpu_busy / denom if denom > 0 else 0.0
+
+    @property
+    def io_utilization(self) -> float:
+        denom = self.machine.io_bandwidth * self.elapsed
+        return self.io_served / denom if denom > 0 else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.response_time for r in self.records) / len(self.records)
+
+    def record_for(self, task: Task) -> TaskRecord:
+        """The trace record of one task."""
+        for record in self.records:
+            if record.task.task_id == task.task_id:
+                return record
+        raise SimulationError(f"no record for {task!r}")
+
+
+class FluidSimulator:
+    """Event-driven fluid simulation of the XPRS machine.
+
+    Args:
+        machine: machine configuration (processors, disks, bandwidths).
+        adjustment_overhead: sequential-seconds of work added to a task
+            each time its parallelism is adjusted (models the signal
+            round trip plus finishing the current page).  Defaults to
+            two signal latencies plus one page-processing time.
+        use_effective_bandwidth: model the sequential/random bandwidth
+            drop when streams interleave; off = nominal ``B`` always.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        *,
+        adjustment_overhead: float | None = None,
+        use_effective_bandwidth: bool = True,
+    ) -> None:
+        self.machine = machine
+        if adjustment_overhead is None:
+            adjustment_overhead = 2.0 * machine.signal_latency + 0.01
+        if adjustment_overhead < 0:
+            raise SimulationError("adjustment_overhead must be >= 0")
+        self.adjustment_overhead = adjustment_overhead
+        self.use_effective_bandwidth = use_effective_bandwidth
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, tasks: list[Task], policy: SchedulingPolicy) -> ScheduleResult:
+        """Simulate ``tasks`` under ``policy`` until all complete."""
+        policy.reset()
+        state = _SimState(self.machine, tasks)
+        adjustments = 0
+        cpu_busy = 0.0
+        io_served = 0.0
+        peak_memory = 0.0
+        for __ in range(_MAX_EVENTS):
+            actions = policy.decide(state)
+            adjustments += self._apply(state, actions)
+            peak_memory = max(
+                peak_memory,
+                sum(r.task.memory_bytes for r in state.running_map.values()),
+            )
+            if state.done():
+                break
+            # Rates under the current allocation.
+            rates = self._rates(state)
+            horizon = self._next_event_in(state, rates)
+            if horizon is None:
+                raise SimulationError(
+                    "deadlock: pending tasks but the policy started nothing "
+                    f"(pending={[t.name for t in state.pending]})"
+                )
+            dt = max(horizon, 0.0)
+            for run, rate in rates.items():
+                run.remaining -= rate * dt
+                cpu_busy += run.parallelism * dt
+                io_served += run.task.io_rate * rate * dt
+            state.clock += dt
+            state.settle()
+        else:
+            raise SimulationError("simulation exceeded the event budget")
+        return ScheduleResult(
+            policy_name=policy.name,
+            elapsed=state.clock,
+            records=state.records,
+            adjustments=adjustments,
+            cpu_busy=cpu_busy,
+            io_served=io_served,
+            machine=self.machine,
+            peak_memory=peak_memory,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _apply(self, state: "_SimState", actions: list[Action]) -> int:
+        adjustments = 0
+        for action in actions:
+            if isinstance(action, Start):
+                state.start(action.task, action.parallelism)
+            elif isinstance(action, Adjust):
+                run = state.running_by_id(action.task.task_id)
+                if abs(run.parallelism - action.parallelism) > _EPS:
+                    run.parallelism = action.parallelism
+                    run.remaining += self.adjustment_overhead
+                    run.history.append((state.clock, action.parallelism))
+                    adjustments += 1
+            else:  # pragma: no cover - exhaustiveness guard
+                raise SimulationError(f"unknown action: {action!r}")
+        return adjustments
+
+    def _rates(self, state: "_SimState") -> dict[_Running, float]:
+        """Work-progress rate of each running task (seq-seconds/second)."""
+        running = list(state.running_map.values())
+        if not running:
+            return {}
+        total_x = sum(r.parallelism for r in running)
+        cpu_scale = min(1.0, self.machine.processors / total_x) if total_x > 0 else 1.0
+        demand = {r: r.task.io_rate * r.parallelism * cpu_scale for r in running}
+        total_demand = sum(demand.values())
+        bandwidth = self._bandwidth(running, demand)
+        io_scale = (
+            min(1.0, bandwidth / total_demand) if total_demand > _EPS else 1.0
+        )
+        return {r: r.parallelism * cpu_scale * io_scale for r in running}
+
+    def _bandwidth(self, running: list[_Running], demand: dict[_Running, float]) -> float:
+        if not self.use_effective_bandwidth:
+            return self.machine.io_bandwidth
+        seq_rates = [
+            demand[r]
+            for r in running
+            if r.task.io_pattern == IOPattern.SEQUENTIAL
+        ]
+        random_total = sum(
+            demand[r] for r in running if r.task.io_pattern == IOPattern.RANDOM
+        )
+        return effective_bandwidth_mix(self.machine, seq_rates, random_total)
+
+    def _next_event_in(self, state: "_SimState", rates: dict[_Running, float]) -> float | None:
+        """Seconds until the next completion or arrival."""
+        horizons = []
+        for run, rate in rates.items():
+            if rate > _EPS:
+                horizons.append(run.remaining / rate)
+        next_arrival = state.next_arrival_in()
+        if next_arrival is not None:
+            horizons.append(next_arrival)
+        if not horizons:
+            return None
+        return min(horizons)
+
+
+class _SimState:
+    """Mutable simulation state; doubles as the policy's EngineState."""
+
+    def __init__(self, machine: MachineConfig, tasks: list[Task]) -> None:
+        self.machine = machine
+        self.clock = 0.0
+        self.running_map: dict[int, _Running] = {}
+        self.records: list[TaskRecord] = []
+        self.completed_ids: set[int] = set()
+        self._arrivals: list[tuple[float, int, Task]] = [
+            (t.arrival_time, i, t) for i, t in enumerate(tasks)
+        ]
+        heapq.heapify(self._arrivals)
+        self._pending: list[Task] = []
+        self._counter = itertools.count(len(tasks))
+        self._drain_arrivals()
+
+    # -- EngineState protocol --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock
+
+    @property
+    def running(self) -> list[_Running]:
+        return list(self.running_map.values())
+
+    @property
+    def pending(self) -> list[Task]:
+        """Arrived tasks that are *ready*: all dependencies completed."""
+        return [t for t in self._pending if t.depends_on <= self.completed_ids]
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def start(self, task: Task, parallelism: float) -> None:
+        if task.task_id in self.running_map:
+            raise SimulationError(f"{task!r} is already running")
+        try:
+            self._pending.remove(task)
+        except ValueError:
+            raise SimulationError(f"{task!r} is not pending") from None
+        if parallelism <= 0:
+            raise SimulationError(f"{task!r}: parallelism must be positive")
+        run = _Running(
+            task=task,
+            parallelism=parallelism,
+            remaining=task.seq_time,
+            started_at=self.clock,
+            history=[(self.clock, parallelism)],
+        )
+        self.running_map[task.task_id] = run
+
+    def settle(self) -> None:
+        """Retire finished tasks and admit due arrivals."""
+        finished = [
+            run for run in self.running_map.values() if run.remaining <= _EPS
+        ]
+        for run in finished:
+            del self.running_map[run.task.task_id]
+            self.completed_ids.add(run.task.task_id)
+            self.records.append(
+                TaskRecord(
+                    task=run.task,
+                    started_at=run.started_at,
+                    finished_at=self.clock,
+                    parallelism_history=tuple(run.history),
+                )
+            )
+        self._drain_arrivals()
+
+    def _drain_arrivals(self) -> None:
+        while self._arrivals and self._arrivals[0][0] <= self.clock + _EPS:
+            __, __, task = heapq.heappop(self._arrivals)
+            self._pending.append(task)
+
+    def next_arrival_in(self) -> float | None:
+        if not self._arrivals:
+            return None
+        return max(0.0, self._arrivals[0][0] - self.clock)
+
+    def running_by_id(self, task_id: int) -> _Running:
+        try:
+            return self.running_map[task_id]
+        except KeyError:
+            raise SimulationError(f"task {task_id} is not running") from None
+
+    def done(self) -> bool:
+        return not self.running_map and not self._pending and not self._arrivals

@@ -1,0 +1,735 @@
+"""The page-level micro simulator.
+
+Where the fluid engine treats a task as a continuous flow, this engine
+simulates every page: slave backends issue page reads to per-disk FIFO
+queues (service time depends on the head position, so interleaved
+streams *really* seek), then compete for processors to do the per-page
+CPU work.  Dynamic parallelism adjustment is the paper's literal
+protocols:
+
+* **Page partitioning** (Figure 5) — master signals the slaves; each
+  replies with its current page; the master computes ``maxpage`` and the
+  new parallelism ``n'``; slaves finish their old ``mod n`` stride up to
+  ``maxpage`` and continue past it with a ``mod n'`` stride; new slaves
+  start after ``maxpage``.
+* **Range partitioning** (Figure 6) — slaves report their remaining key
+  intervals; the master repartitions them into ``n'`` interval sets;
+  slaves resume on their new intervals (possibly several each).
+
+Each signalling leg costs ``machine.signal_latency`` (tiny on shared
+memory — that is the paper's point; the abl3 bench sweeps it).
+
+Workloads are :class:`ScanSpec` objects — synthetic scans with a page
+count, a per-page CPU time and an io pattern — which map exactly onto
+the scheduler's :class:`~repro.core.task.Task` model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..core.schedulers import Adjust, SchedulingPolicy, Start
+from ..core.task import IOPattern, Task
+from ..errors import SimulationError
+from ..storage.disk import Disk
+from .fluid import ScheduleResult, TaskRecord
+
+_EPS = 1e-12
+_MAX_EVENTS = 5_000_000
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """A synthetic scan workload for the micro engine.
+
+    Attributes:
+        name: label.
+        n_pages: number of pages (= io requests) to process.
+        cpu_per_page: CPU seconds to process each page's tuples.
+        pattern: SEQUENTIAL pages are striped round-robin and read in
+            order (per-disk sequential streams); RANDOM pages are read
+            in a scattered block order (every read seeks), modelling an
+            unclustered index scan.
+        partitioning: "page" (Figure 5 protocol) or "range" (Figure 6).
+        arrival_time: when the task enters the system.
+    """
+
+    name: str
+    n_pages: int
+    cpu_per_page: float
+    pattern: IOPattern = IOPattern.SEQUENTIAL
+    partitioning: str = "page"
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_pages < 1:
+            raise SimulationError(f"{self.name}: n_pages must be >= 1")
+        if self.cpu_per_page < 0:
+            raise SimulationError(f"{self.name}: cpu_per_page must be >= 0")
+        if self.partitioning not in ("page", "range"):
+            raise SimulationError(f"{self.name}: unknown partitioning")
+
+    def seq_io_service(self, machine: MachineConfig) -> float:
+        """Per-page io service time used for calibration.
+
+        Sequential tasks are calibrated against the *almost sequential*
+        rate: "in parallel executions, we at most see the almost
+        sequential read bandwidth" (Section 3), and tasks in these
+        experiments always run in parallel.  This keeps a task's io
+        rate consistent with the machine's working bandwidth ``B``.
+        """
+        disk = machine.disk
+        if self.pattern == IOPattern.RANDOM:
+            return 1.0 / disk.random_ios_per_sec
+        return 1.0 / disk.almost_seq_ios_per_sec
+
+    def seq_time(self, machine: MachineConfig) -> float:
+        """``T_i`` — sequential elapsed time (synchronous page cycles)."""
+        return self.n_pages * (self.seq_io_service(machine) + self.cpu_per_page)
+
+    def io_rate(self, machine: MachineConfig) -> float:
+        """``C_i = D_i / T_i`` for this scan."""
+        return self.n_pages / self.seq_time(machine)
+
+    def to_task(self, machine: MachineConfig) -> Task:
+        """The scheduler-level view of this scan."""
+        return Task(
+            name=self.name,
+            seq_time=self.seq_time(machine),
+            io_count=float(self.n_pages),
+            io_pattern=self.pattern,
+            arrival_time=self.arrival_time,
+            payload=self,
+        )
+
+
+def spec_for_io_rate(
+    name: str,
+    machine: MachineConfig,
+    *,
+    io_rate: float,
+    n_pages: int,
+    pattern: IOPattern = IOPattern.SEQUENTIAL,
+    partitioning: str = "page",
+    arrival_time: float = 0.0,
+) -> ScanSpec:
+    """Build a ScanSpec whose sequential io rate is ``io_rate``.
+
+    This is how the paper's experiments control task boundedness: "We
+    adjust the i/o rate of each task by varying the size of tuples" —
+    big tuples mean few tuples (little CPU) per page.
+
+    Raises:
+        SimulationError: if the rate exceeds what one disk stream can
+            physically deliver (e.g. > 97 ios/s sequential).
+    """
+    svc = (
+        1.0 / machine.disk.random_ios_per_sec
+        if pattern == IOPattern.RANDOM
+        else 1.0 / machine.disk.almost_seq_ios_per_sec
+    )
+    if io_rate <= 0:
+        raise SimulationError(f"{name}: io_rate must be positive")
+    cpu = 1.0 / io_rate - svc
+    if cpu < -1e-12:
+        raise SimulationError(
+            f"{name}: io rate {io_rate} exceeds the disk service rate {1 / svc:.1f}"
+        )
+    cpu = max(cpu, 0.0)
+    return ScanSpec(
+        name=name,
+        n_pages=n_pages,
+        cpu_per_page=cpu,
+        pattern=pattern,
+        partitioning=partitioning,
+        arrival_time=arrival_time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# engine internals
+
+
+@dataclass(eq=False)
+class _Segment:
+    """A stride of pages assigned to one slave: ``lo..hi`` step info."""
+
+    lo: int
+    hi: int  # inclusive
+    stride: int
+    residue: int
+
+    def first_at_or_after(self, p: int) -> int | None:
+        """Smallest page >= p in this segment, or None."""
+        start = max(p, self.lo)
+        remainder = (start - self.residue) % self.stride
+        candidate = start if remainder == 0 else start + (self.stride - remainder)
+        if candidate > self.hi:
+            return None
+        return candidate
+
+
+@dataclass(eq=False)
+class _Slave:
+    """One slave backend working on one task.
+
+    Slaves are synchronous, like Postgres backends: read a page, then
+    process its tuples, then read the next page.  "The time between two
+    i/o requests is equal to the time to read a disk page plus the time
+    to process all the tuples that reside in the read-in disk page"
+    (Section 3).
+    """
+
+    slave_id: int
+    segments: list[_Segment] = field(default_factory=list)
+    cursor: int = 0  # next page candidate (page partitioning)
+    intervals: list[tuple[int, int]] = field(default_factory=list)  # range mode
+    busy: bool = False  # has an in-flight page (io or cpu)
+    retired: bool = False
+    paused: bool = False  # waiting for repartition (range protocol)
+
+    def next_page(self) -> int | None:
+        """Claim the next page under page partitioning."""
+        while self.segments:
+            seg = self.segments[0]
+            page = seg.first_at_or_after(self.cursor)
+            if page is None:
+                self.segments.pop(0)
+                continue
+            self.cursor = page + 1
+            return page
+        return None
+
+    def next_key(self) -> int | None:
+        """Claim the next key under range partitioning."""
+        while self.intervals:
+            lo, hi = self.intervals[0]
+            if lo > hi:
+                self.intervals.pop(0)
+                continue
+            self.intervals[0] = (lo + 1, hi)
+            return lo
+        return None
+
+    def remaining_intervals(self) -> list[tuple[int, int]]:
+        return [(lo, hi) for lo, hi in self.intervals if lo <= hi]
+
+
+@dataclass(eq=False)
+class _TaskRun:
+    """Engine-internal record of one running task."""
+
+    task: Task
+    spec: ScanSpec
+    parallelism: int
+    started_at: float
+    slaves: dict[int, _Slave] = field(default_factory=dict)
+    pages_done: int = 0
+    next_slave_id: int = 0
+    history: list[tuple[float, float]] = field(default_factory=list)
+    adjusting: bool = False
+    block_base: int = 0  # placement offset on the disks
+
+    @property
+    def remaining_seq_time(self) -> float:
+        frac = 1.0 - self.pages_done / self.spec.n_pages
+        return frac * self.task.seq_time
+
+    def page_block(self, page: int, machine: MachineConfig, order: list[int]) -> tuple[int, int]:
+        """(disk, block) of a page: round-robin striping, sequential
+        block order for sequential scans, scattered for random ones."""
+        p = order[page]
+        disk_id = p % machine.disks
+        block = self.block_base + p // machine.disks
+        return disk_id, block
+
+
+class MicroSimulator:
+    """Discrete-event page-level simulation of the XPRS machine.
+
+    The disks are flattened to the *almost sequential* regime for
+    in-order reads: parallel backends always reorder requests slightly,
+    so a parallel scan never sees the strictly-sequential rate
+    (Section 3: "we at most see the almost sequential read bandwidth").
+    Without this, a scan whose stride happens to align with the
+    striping would stream every disk at the raw sequential rate and
+    the machine's working bandwidth ``B`` would be exceeded.
+
+    Args:
+        machine: machine configuration.
+        seed: used only to scatter the block order of RANDOM tasks.
+        consult_interval: when set, the master additionally consults
+            the policy every so many simulated seconds (a master tick),
+            not only at start/arrival/completion events.  Lets policies
+            adjust mid-task.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        *,
+        seed: int = 0,
+        consult_interval: float | None = None,
+    ) -> None:
+        from dataclasses import replace
+
+        flattened = replace(
+            machine,
+            disk=replace(
+                machine.disk, seq_ios_per_sec=machine.disk.almost_seq_ios_per_sec
+            ),
+        )
+        if consult_interval is not None and consult_interval <= 0:
+            raise SimulationError("consult_interval must be positive")
+        self.machine = flattened
+        self.seed = seed
+        self.consult_interval = consult_interval
+
+    def run(self, specs: list[ScanSpec], policy: SchedulingPolicy) -> ScheduleResult:
+        """Simulate the scan specs under ``policy`` until all complete."""
+        policy.reset()
+        engine = _MicroEngine(
+            self.machine,
+            specs,
+            policy,
+            seed=self.seed,
+            consult_interval=self.consult_interval,
+        )
+        return engine.run()
+
+
+class _MicroEngine:
+    def __init__(
+        self,
+        machine: MachineConfig,
+        specs: list[ScanSpec],
+        policy: SchedulingPolicy,
+        *,
+        seed: int,
+        consult_interval: float | None = None,
+    ) -> None:
+        import random
+
+        self.machine = machine
+        self.policy = policy
+        self.clock = 0.0
+        self._events: list[tuple[float, int, object]] = []
+        self._seq = itertools.count()
+        self._rng = random.Random(seed)
+        # resources
+        self.disks = [Disk(i, machine.disk) for i in range(machine.disks)]
+        self._disk_queues: list[list[tuple["_TaskRun", _Slave, int, int]]] = [
+            [] for __ in range(machine.disks)
+        ]
+        self._disk_busy = [False] * machine.disks
+        self.free_processors = machine.processors
+        self._cpu_queue: list[tuple["_TaskRun", _Slave]] = []
+        self.cpu_busy_time = 0.0
+        self.io_count = 0
+        # tasks
+        self._pending: list[Task] = []
+        self._arrivals: list[tuple[float, int, Task, ScanSpec]] = []
+        self.running: dict[int, _TaskRun] = {}
+        self.completed_ids: set[int] = set()
+        self.records: list[TaskRecord] = []
+        self.adjustments = 0
+        self.peak_memory = 0.0
+        self._block_cursor = 0
+        self._arrival_armed = False
+        self._consult_interval = consult_interval
+        self._orders: dict[int, list[int]] = {}
+        for i, spec in enumerate(specs):
+            task = spec.to_task(machine)
+            if spec.arrival_time <= 0:
+                self._pending.append(task)
+            else:
+                heapq.heappush(
+                    self._arrivals, (spec.arrival_time, i, task, spec)
+                )
+
+    # -- EngineState protocol for the policy ------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock
+
+    @property
+    def pending(self) -> list[Task]:
+        return [t for t in self._pending if t.depends_on <= self.completed_ids]
+
+    # -- event plumbing ------------------------------------------------------------
+
+    def _schedule(self, delay: float, callback) -> None:
+        heapq.heappush(self._events, (self.clock + delay, next(self._seq), callback))
+
+    def _master_tick(self) -> None:
+        if not self.running and not self._pending and not self._arrivals:
+            return
+        self._consult_policy()
+        assert self._consult_interval is not None
+        self._schedule(self._consult_interval, self._master_tick)
+
+    def run(self) -> ScheduleResult:
+        self._arm_arrival()
+        if self._consult_interval is not None:
+            self._schedule(self._consult_interval, self._master_tick)
+        self._consult_policy()
+        for __ in range(_MAX_EVENTS):
+            if not self._events:
+                break
+            time, __seq, callback = heapq.heappop(self._events)
+            if time < self.clock - _EPS:
+                raise SimulationError("time went backwards")
+            self.clock = max(self.clock, time)
+            callback()
+        else:
+            raise SimulationError("micro simulation exceeded the event budget")
+        if self.running or self.pending or self._arrivals:
+            raise SimulationError(
+                "micro simulation stalled: "
+                f"running={list(self.running)}, pending={[t.name for t in self._pending]}"
+            )
+        elapsed = self.clock
+        return ScheduleResult(
+            policy_name=self.policy.name,
+            elapsed=elapsed,
+            records=self.records,
+            adjustments=self.adjustments,
+            cpu_busy=self.cpu_busy_time,
+            io_served=float(self.io_count),
+            machine=self.machine,
+            peak_memory=self.peak_memory,
+        )
+
+    # -- policy interaction -----------------------------------------------------------
+
+    def _consult_policy(self) -> None:
+        state = _PolicyState(self)
+        for action in self.policy.decide(state):
+            if isinstance(action, Start):
+                self._start_task(action.task, action.parallelism)
+            elif isinstance(action, Adjust):
+                self._begin_adjustment(action.task, action.parallelism)
+            else:  # pragma: no cover
+                raise SimulationError(f"unknown action {action!r}")
+
+    def _arm_arrival(self) -> None:
+        if self._arrivals and not self._arrival_armed:
+            self._arrival_armed = True
+            delay = max(0.0, self._arrivals[0][0] - self.clock)
+            self._schedule(delay, self._admit_arrivals)
+
+    def _admit_arrivals(self) -> None:
+        self._arrival_armed = False
+        while self._arrivals and self._arrivals[0][0] <= self.clock + _EPS:
+            __, __i, task, __spec = heapq.heappop(self._arrivals)
+            self._pending.append(task)
+        self._arm_arrival()
+        self._consult_policy()
+
+    # -- task lifecycle ------------------------------------------------------------------
+
+    def _start_task(self, task: Task, parallelism: float) -> None:
+        n = max(1, int(round(parallelism)))
+        try:
+            self._pending.remove(task)
+        except ValueError:
+            raise SimulationError(f"{task!r} is not pending") from None
+        spec: ScanSpec = task.payload  # type: ignore[assignment]
+        if not isinstance(spec, ScanSpec):
+            raise SimulationError(f"{task!r} has no ScanSpec payload")
+        run = _TaskRun(
+            task=task,
+            spec=spec,
+            parallelism=n,
+            started_at=self.clock,
+            block_base=self._block_cursor,
+        )
+        self._block_cursor += math.ceil(spec.n_pages / self.machine.disks) + 10_000
+        order = list(range(spec.n_pages))
+        if spec.pattern == IOPattern.RANDOM:
+            self._rng.shuffle(order)
+        self._orders[task.task_id] = order
+        run.history.append((self.clock, float(n)))
+        self.running[task.task_id] = run
+        self.peak_memory = max(
+            self.peak_memory,
+            sum(r.task.memory_bytes for r in self.running.values()),
+        )
+        if spec.partitioning == "page":
+            for i in range(n):
+                slave = _Slave(slave_id=i)
+                slave.segments.append(
+                    _Segment(lo=0, hi=spec.n_pages - 1, stride=n, residue=i)
+                )
+                run.slaves[i] = slave
+                self._slave_next(run, slave)
+            run.next_slave_id = n
+        else:
+            bounds = self._split_range(0, spec.n_pages - 1, n)
+            for i, interval in enumerate(bounds):
+                slave = _Slave(slave_id=i)
+                if interval is not None:
+                    slave.intervals.append(interval)
+                run.slaves[i] = slave
+                self._slave_next(run, slave)
+            run.next_slave_id = n
+
+    @staticmethod
+    def _split_range(lo: int, hi: int, n: int) -> list[tuple[int, int] | None]:
+        """Split [lo, hi] into n near-equal contiguous intervals."""
+        total = hi - lo + 1
+        out: list[tuple[int, int] | None] = []
+        start = lo
+        for i in range(n):
+            size = total // n + (1 if i < total % n else 0)
+            if size == 0:
+                out.append(None)
+            else:
+                out.append((start, start + size - 1))
+                start += size
+        return out
+
+    def _slave_next(self, run: _TaskRun, slave: _Slave) -> None:
+        """Move a slave to its next page, or retire it."""
+        if slave.retired or slave.busy or slave.paused:
+            return
+        if run.spec.partitioning == "page":
+            page = slave.next_page()
+        else:
+            page = slave.next_key()
+        if page is None:
+            slave.retired = True
+            self._maybe_complete(run)
+            return
+        slave.busy = True
+        disk_id, block = run.page_block(
+            page, self.machine, self._orders[run.task.task_id]
+        )
+        self._enqueue_io(run, slave, disk_id, block)
+
+    def _maybe_complete(self, run: _TaskRun) -> None:
+        if run.task.task_id not in self.running:
+            return
+        if run.pages_done >= run.spec.n_pages and all(
+            s.retired for s in run.slaves.values()
+        ):
+            del self.running[run.task.task_id]
+            self.completed_ids.add(run.task.task_id)
+            self.records.append(
+                TaskRecord(
+                    task=run.task,
+                    started_at=run.started_at,
+                    finished_at=self.clock,
+                    parallelism_history=tuple(run.history),
+                )
+            )
+            self._consult_policy()
+
+    # -- disks --------------------------------------------------------------------------------
+
+    def _enqueue_io(self, run: _TaskRun, slave: _Slave, disk_id: int, block: int) -> None:
+        self._disk_queues[disk_id].append((run, slave, disk_id, block))
+        self._dispatch_disk(disk_id)
+
+    def _dispatch_disk(self, disk_id: int) -> None:
+        """Serve the queued request costing the least head movement.
+
+        Real disks (and the paper's measured bandwidths) batch the
+        dominant sequential stream instead of seeking on every request:
+        among queued requests we pick the one whose block classifies
+        best against the current head position (sequential beats
+        almost-sequential beats random), FIFO within a class.  This is
+        a simple SCAN/elevator policy.
+        """
+        if self._disk_busy[disk_id] or not self._disk_queues[disk_id]:
+            return
+        queue = self._disk_queues[disk_id]
+        disk = self.disks[disk_id]
+        rank = {"sequential": 0, "almost_sequential": 1, "random": 2}
+        best_index = min(
+            range(len(queue)), key=lambda i: rank[disk.classify(queue[i][3])]
+        )
+        run, slave, __, block = queue.pop(best_index)
+        self._disk_busy[disk_id] = True
+        service = disk.service_time(block)
+        self.io_count += 1
+
+        def io_done() -> None:
+            self._disk_busy[disk_id] = False
+            self._dispatch_disk(disk_id)
+            self._request_cpu(run, slave)
+
+        self._schedule(service, io_done)
+
+    # -- processors ------------------------------------------------------------------------------
+
+    def _request_cpu(self, run: _TaskRun, slave: _Slave) -> None:
+        self._cpu_queue.append((run, slave))
+        self._dispatch_cpu()
+
+    def _dispatch_cpu(self) -> None:
+        while self.free_processors > 0 and self._cpu_queue:
+            run, slave = self._cpu_queue.pop(0)
+            self.free_processors -= 1
+            duration = run.spec.cpu_per_page
+            self.cpu_busy_time += duration
+
+            def cpu_done(run=run, slave=slave) -> None:
+                self.free_processors += 1
+                run.pages_done += 1
+                slave.busy = False
+                self._slave_next(run, slave)
+                self._dispatch_cpu()
+                self._maybe_complete(run)
+
+            self._schedule(duration, cpu_done)
+
+    # -- dynamic adjustment (Figures 5 and 6) -------------------------------------------------------
+
+    def _begin_adjustment(self, task: Task, parallelism: float) -> None:
+        run = self.running.get(task.task_id)
+        if run is None:
+            raise SimulationError(f"{task!r} is not running")
+        n_new = max(1, int(round(parallelism)))
+        if n_new == run.parallelism or run.adjusting:
+            return
+        run.adjusting = True
+        self.adjustments += 1
+        delta = self.machine.signal_latency
+        # Leg 1: master -> slaves (signal); leg 2: slaves -> master
+        # (curpage / intervals); leg 3: master -> slaves (maxpage + n').
+        if run.spec.partitioning == "page":
+            self._schedule(2 * delta, lambda: self._collect_maxpage(run, n_new))
+        else:
+            self._schedule(2 * delta, lambda: self._collect_intervals(run, n_new))
+
+    def _collect_maxpage(self, run: _TaskRun, n_new: int) -> None:
+        """Figure 5: compute maxpage from slave cursors, broadcast."""
+        cursors = [s.cursor for s in run.slaves.values() if not s.retired]
+        maxpage = max(cursors) if cursors else run.spec.n_pages
+        delta = self.machine.signal_latency
+        self._schedule(delta, lambda: self._apply_page_adjustment(run, n_new, maxpage))
+
+    def _apply_page_adjustment(self, run: _TaskRun, n_new: int, maxpage: int) -> None:
+        spec = run.spec
+        last = spec.n_pages - 1
+        for slave in run.slaves.values():
+            if slave.retired:
+                continue
+            # Clamp the old stride at maxpage - 1 ("all the pages
+            # before maxpage"), then continue with the new stride.
+            new_segments: list[_Segment] = []
+            for seg in slave.segments:
+                if seg.lo <= maxpage - 1:
+                    new_segments.append(
+                        _Segment(seg.lo, min(seg.hi, maxpage - 1), seg.stride, seg.residue)
+                    )
+            if slave.slave_id < n_new and maxpage <= last:
+                new_segments.append(
+                    _Segment(maxpage, last, n_new, slave.slave_id % n_new)
+                )
+            slave.segments = new_segments
+            if not slave.busy:
+                self._slave_next(run, slave)
+        # New slaves join for residues not owned by surviving slaves.
+        existing = {s.slave_id for s in run.slaves.values() if not s.retired}
+        for i in range(n_new):
+            if i in existing or maxpage > last:
+                continue
+            slave = _Slave(slave_id=i)
+            slave.segments.append(_Segment(maxpage, last, n_new, i))
+            run.slaves[i] = slave
+            self._slave_next(run, slave)
+        run.parallelism = n_new
+        run.adjusting = False
+        run.history.append((self.clock, float(n_new)))
+        self._maybe_complete(run)
+
+    def _collect_intervals(self, run: _TaskRun, n_new: int) -> None:
+        """Figure 6: gather remaining intervals, repartition, resume."""
+        remaining: list[tuple[int, int]] = []
+        for slave in run.slaves.values():
+            if slave.retired:
+                continue
+            remaining.extend(slave.remaining_intervals())
+            slave.intervals = []
+            slave.paused = True
+        remaining.sort()
+        total = sum(hi - lo + 1 for lo, hi in remaining)
+        delta = self.machine.signal_latency
+        self._schedule(
+            delta,
+            lambda: self._apply_range_adjustment(run, n_new, remaining, total),
+        )
+
+    def _apply_range_adjustment(
+        self,
+        run: _TaskRun,
+        n_new: int,
+        remaining: list[tuple[int, int]],
+        total: int,
+    ) -> None:
+        # Deal out near-equal shares of the remaining keys; a slave may
+        # receive several intervals (the paper allows this).
+        shares: list[list[tuple[int, int]]] = [[] for __ in range(n_new)]
+        if total:
+            base = total // n_new
+            extra = total % n_new
+            quota = [base + (1 if i < extra else 0) for i in range(n_new)]
+            i = 0
+            for lo, hi in remaining:
+                while lo <= hi:
+                    while i < n_new and quota[i] == 0:
+                        i += 1
+                    if i >= n_new:
+                        break
+                    take = min(quota[i], hi - lo + 1)
+                    shares[i].append((lo, lo + take - 1))
+                    quota[i] -= take
+                    lo += take
+        survivors = {s.slave_id: s for s in run.slaves.values() if not s.retired}
+        for i in range(n_new):
+            slave = survivors.get(i)
+            if slave is None:
+                slave = _Slave(slave_id=i)
+                run.slaves[i] = slave
+            slave.intervals = shares[i]
+            slave.paused = False
+            if not slave.busy:
+                self._slave_next(run, slave)
+        # Surviving slaves beyond n' got no intervals: they retire when
+        # their in-flight page finishes (next _slave_next call).
+        for slave_id, slave in survivors.items():
+            if slave_id >= n_new:
+                slave.paused = False
+                if not slave.busy:
+                    self._slave_next(run, slave)
+        run.parallelism = n_new
+        run.adjusting = False
+        run.history.append((self.clock, float(n_new)))
+        self._maybe_complete(run)
+
+
+class _PolicyState:
+    """Adapter exposing the micro engine as an EngineState."""
+
+    def __init__(self, engine: _MicroEngine) -> None:
+        self._engine = engine
+        self.machine = engine.machine
+
+    @property
+    def now(self) -> float:
+        return self._engine.clock
+
+    @property
+    def running(self) -> list[_TaskRun]:
+        return list(self._engine.running.values())
+
+    @property
+    def pending(self) -> list[Task]:
+        return self._engine.pending

@@ -1,0 +1,32 @@
+"""A SQL front end for the reproduction.
+
+Supports single-block ``SELECT`` statements over the catalog:
+projection with aliases, aggregates (COUNT/SUM/AVG/MIN/MAX) with GROUP
+BY, multi-table FROM with equi-join extraction from the WHERE clause,
+BETWEEN / IS NULL / boolean conditions, ORDER BY (ASC/DESC) and LIMIT::
+
+    from repro.sql import run_sql
+
+    rows = run_sql(
+        "SELECT a, count(*) AS n FROM r1, r2 "
+        "WHERE b1 = b2 AND a BETWEEN 0 AND 99 "
+        "GROUP BY a ORDER BY n DESC LIMIT 10",
+        catalog,
+    )
+"""
+
+from .ast import SelectStatement
+from .lexer import SqlError, Token, tokenize
+from .parser import parse
+from .translate import TranslatedQuery, run_sql, translate
+
+__all__ = [
+    "SelectStatement",
+    "SqlError",
+    "Token",
+    "TranslatedQuery",
+    "parse",
+    "run_sql",
+    "tokenize",
+    "translate",
+]

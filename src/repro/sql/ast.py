@@ -1,0 +1,111 @@
+"""Abstract syntax for the SQL subset.
+
+The parser produces these nodes; the translator lowers them onto
+``repro.optimizer.Query`` plus executor post-operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ColumnName:
+    """A possibly-qualified column reference (``col`` or ``rel.col``)."""
+
+    name: str
+    relation: str | None = None
+
+    def __repr__(self) -> str:
+        if self.relation:
+            return f"{self.relation}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An integer, float, string or NULL literal."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` where operands are columns or literals."""
+
+    op: str  # = != < <= > >=
+    left: ColumnName | Literal
+    right: ColumnName | Literal
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``col IS [NOT] NULL``."""
+
+    column: ColumnName
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    """``col BETWEEN low AND high``."""
+
+    column: ColumnName
+    low: Literal
+    high: Literal
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Condition"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: tuple["Condition", ...]
+
+
+Condition = Comparison | IsNull | Between | Not | And | Or
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``func(col)`` or ``COUNT(*)`` in the select list."""
+
+    function: str  # count / sum / avg / min / max
+    column: ColumnName | None
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: a column (with optional alias)."""
+
+    column: ColumnName
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnName
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """A parsed ``SELECT`` statement."""
+
+    star: bool = False
+    items: list[SelectItem] = field(default_factory=list)
+    aggregates: list[Aggregate] = field(default_factory=list)
+    tables: list[str] = field(default_factory=list)
+    where: Condition | None = None
+    group_by: list[ColumnName] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None

@@ -1,0 +1,252 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    select    := SELECT select_list FROM table_list
+                 [WHERE condition] [GROUP BY columns]
+                 [ORDER BY order_items] [LIMIT integer]
+    select_list := '*' | item (',' item)*
+    item      := agg '(' ('*' | column) ')' [AS ident]
+               | column [AS ident]
+    condition := or_term
+    or_term   := and_term (OR and_term)*
+    and_term  := not_term (AND not_term)*
+    not_term  := NOT not_term | '(' condition ')' | predicate
+    predicate := column IS [NOT] NULL
+               | operand op operand
+               | column BETWEEN literal AND literal
+    operand   := column | literal
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .lexer import (
+    END,
+    IDENT,
+    NUMBER,
+    OPERATOR,
+    PUNCT,
+    STRING,
+    SqlError,
+    Token,
+    tokenize,
+    unquote,
+)
+
+_AGG_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlError(
+                f"expected {word}, found {self.current.value!r}",
+                self.current.position,
+            )
+
+    def accept_punct(self, char: str) -> bool:
+        if self.current.kind == PUNCT and self.current.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise SqlError(
+                f"expected {char!r}, found {self.current.value!r}",
+                self.current.position,
+            )
+
+    def expect_ident(self) -> str:
+        if self.current.kind != IDENT:
+            raise SqlError(
+                f"expected identifier, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance().value
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse(self) -> ast.SelectStatement:
+        self.expect_keyword("SELECT")
+        statement = ast.SelectStatement()
+        self._select_list(statement)
+        self.expect_keyword("FROM")
+        statement.tables.append(self.expect_ident())
+        while self.accept_punct(","):
+            statement.tables.append(self.expect_ident())
+        if self.accept_keyword("WHERE"):
+            statement.where = self._condition()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            statement.group_by.append(self._column())
+            while self.accept_punct(","):
+                statement.group_by.append(self._column())
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            statement.order_by.append(self._order_item())
+            while self.accept_punct(","):
+                statement.order_by.append(self._order_item())
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.kind != NUMBER or "." in token.value:
+                raise SqlError("LIMIT needs an integer", token.position)
+            statement.limit = int(token.value)
+        if self.current.kind != END:
+            raise SqlError(
+                f"unexpected trailing input: {self.current.value!r}",
+                self.current.position,
+            )
+        return statement
+
+    def _select_list(self, statement: ast.SelectStatement) -> None:
+        if self.accept_punct("*"):
+            statement.star = True
+            return
+        self._select_item(statement)
+        while self.accept_punct(","):
+            self._select_item(statement)
+
+    def _select_item(self, statement: ast.SelectStatement) -> None:
+        token = self.current
+        if (
+            token.kind == IDENT
+            and token.value.upper() in _AGG_FUNCTIONS
+            and self.tokens[self.position + 1].kind == PUNCT
+            and self.tokens[self.position + 1].value == "("
+        ):
+            function = self.advance().value.lower()
+            self.expect_punct("(")
+            if self.accept_punct("*"):
+                if function != "count":
+                    raise SqlError(f"{function}(*) is not valid", token.position)
+                column = None
+            else:
+                column = self._column()
+            self.expect_punct(")")
+            alias = self.expect_ident() if self.accept_keyword("AS") else None
+            statement.aggregates.append(ast.Aggregate(function, column, alias))
+            return
+        column = self._column()
+        alias = self.expect_ident() if self.accept_keyword("AS") else None
+        statement.items.append(ast.SelectItem(column, alias))
+
+    def _column(self) -> ast.ColumnName:
+        name = self.expect_ident()
+        if "." in name:
+            relation, column = name.split(".", 1)
+            return ast.ColumnName(column, relation)
+        return ast.ColumnName(name)
+
+    def _order_item(self) -> ast.OrderItem:
+        column = self._column()
+        if self.accept_keyword("DESC"):
+            return ast.OrderItem(column, ascending=False)
+        self.accept_keyword("ASC")
+        return ast.OrderItem(column, ascending=True)
+
+    # -- conditions ---------------------------------------------------------------
+
+    def _condition(self) -> ast.Condition:
+        return self._or_term()
+
+    def _or_term(self) -> ast.Condition:
+        terms = [self._and_term()]
+        while self.accept_keyword("OR"):
+            terms.append(self._and_term())
+        if len(terms) == 1:
+            return terms[0]
+        return ast.Or(tuple(terms))
+
+    def _and_term(self) -> ast.Condition:
+        terms = [self._not_term()]
+        while self.accept_keyword("AND"):
+            terms.append(self._not_term())
+        if len(terms) == 1:
+            return terms[0]
+        return ast.And(tuple(terms))
+
+    def _not_term(self) -> ast.Condition:
+        if self.accept_keyword("NOT"):
+            return ast.Not(self._not_term())
+        if self.accept_punct("("):
+            condition = self._condition()
+            self.expect_punct(")")
+            return condition
+        return self._predicate()
+
+    def _predicate(self) -> ast.Condition:
+        left = self._operand()
+        if isinstance(left, ast.ColumnName) and self.current.is_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        if isinstance(left, ast.ColumnName) and self.current.is_keyword("BETWEEN"):
+            self.advance()
+            low = self._literal()
+            self.expect_keyword("AND")
+            high = self._literal()
+            return ast.Between(left, low, high)
+        if self.current.kind != OPERATOR:
+            raise SqlError(
+                f"expected a comparison, found {self.current.value!r}",
+                self.current.position,
+            )
+        op = self.advance().value
+        right = self._operand()
+        return ast.Comparison(op, left, right)
+
+    def _operand(self) -> ast.ColumnName | ast.Literal:
+        token = self.current
+        if token.kind == IDENT:
+            return self._column()
+        return self._literal()
+
+    def _literal(self) -> ast.Literal:
+        token = self.advance()
+        if token.kind == PUNCT and token.value == "-":
+            inner = self._literal()
+            if not isinstance(inner.value, (int, float)) or inner.value is None:
+                raise SqlError("'-' must precede a number", token.position)
+            return ast.Literal(-inner.value)
+        if token.kind == NUMBER:
+            if "." in token.value:
+                return ast.Literal(float(token.value))
+            return ast.Literal(int(token.value))
+        if token.kind == STRING:
+            return ast.Literal(unquote(token.value))
+        if token.is_keyword("NULL"):
+            return ast.Literal(None)
+        raise SqlError(f"expected a literal, found {token.value!r}", token.position)
+
+
+def parse(sql: str) -> ast.SelectStatement:
+    """Parse one SELECT statement.
+
+    Raises:
+        SqlError: on any lexical or syntactic problem.
+    """
+    return _Parser(tokenize(sql)).parse()

@@ -1,0 +1,25 @@
+"""Storage subsystem: pages, heaps, disk array, buffer pool, B+tree."""
+
+from .btree import BTreeIndex
+from .buffer import BufferPool, BufferStats
+from .disk import ALMOST_SEQ_WINDOW, Disk, DiskCounters
+from .diskarray import DiskArray, FileExtent, PageAddress
+from .heap import HeapFile, RecordId
+from .page import HEADER_SIZE, SLOT_SIZE, SlottedPage
+
+__all__ = [
+    "ALMOST_SEQ_WINDOW",
+    "BTreeIndex",
+    "BufferPool",
+    "BufferStats",
+    "Disk",
+    "DiskArray",
+    "DiskCounters",
+    "FileExtent",
+    "HEADER_SIZE",
+    "HeapFile",
+    "PageAddress",
+    "RecordId",
+    "SLOT_SIZE",
+    "SlottedPage",
+]

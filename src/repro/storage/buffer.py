@@ -1,0 +1,129 @@
+"""A pin-counted LRU buffer pool.
+
+XPRS shares one buffer pool among all backends in shared memory.  The
+pool caches ``(file_id, page_no)`` frames with pin counts; an unpinned
+least-recently-used frame is evicted on miss.  Hit/miss counters feed
+the cost model's effective io counts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import BufferPoolError
+from .heap import HeapFile
+from .page import SlottedPage
+
+FrameKey = tuple[int, int]
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class _Frame:
+    __slots__ = ("page", "pin_count")
+
+    def __init__(self, page: SlottedPage) -> None:
+        self.page = page
+        self.pin_count = 0
+
+
+class BufferPool:
+    """An LRU page cache with pinning.
+
+    Args:
+        capacity: maximum number of cached frames.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs capacity >= 1")
+        self.capacity = capacity
+        self._frames: "OrderedDict[FrameKey, _Frame]" = OrderedDict()
+        self.stats = BufferStats()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def get(self, heap: HeapFile, page_no: int, *, pin: bool = False) -> SlottedPage:
+        """Fetch a page through the pool.
+
+        A miss charges the heap's simulated disk read and may evict the
+        LRU unpinned frame.
+
+        Raises:
+            BufferPoolError: when every frame is pinned and none can be
+                evicted to make room.
+        """
+        key = (heap.extent.file_id, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(key)
+        else:
+            self.stats.misses += 1
+            heap.read_time(page_no)  # charge the simulated io
+            self._make_room()
+            frame = _Frame(heap.page(page_no))
+            self._frames[key] = frame
+        if pin:
+            frame.pin_count += 1
+        return frame.page
+
+    def unpin(self, heap: HeapFile, page_no: int) -> None:
+        """Release one pin on a cached page.
+
+        Raises:
+            BufferPoolError: if the page is not cached or not pinned.
+        """
+        key = (heap.extent.file_id, page_no)
+        frame = self._frames.get(key)
+        if frame is None:
+            raise BufferPoolError(f"page {key} is not in the pool")
+        if frame.pin_count <= 0:
+            raise BufferPoolError(f"page {key} is not pinned")
+        frame.pin_count -= 1
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for key, frame in self._frames.items():
+            if frame.pin_count == 0:
+                del self._frames[key]
+                self.stats.evictions += 1
+                return
+        raise BufferPoolError("all frames are pinned; cannot evict")
+
+    def contains(self, heap: HeapFile, page_no: int) -> bool:
+        """Whether a page is currently cached."""
+        return (heap.extent.file_id, page_no) in self._frames
+
+    def clear(self) -> None:
+        """Drop every unpinned frame."""
+        pinned = {
+            key: frame for key, frame in self._frames.items() if frame.pin_count
+        }
+        self._frames = OrderedDict(pinned)

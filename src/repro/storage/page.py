@@ -1,0 +1,148 @@
+"""Slotted disk pages.
+
+The classic slotted-page layout: a small header, record data growing
+from the front, and a slot directory growing from the back.  Each slot
+holds ``(offset, length)`` for one record; a deleted record leaves a
+tombstone slot (length 0) so record ids stay stable.
+
+Layout (little-endian)::
+
+    [ header: slot_count (u16) | free_offset (u16) ]
+    [ record bytes ... -> ]
+    [ free space ]
+    [ <- ... slot directory: (offset u16, length u16) per slot ]
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from ..config import PAGE_SIZE
+from ..errors import InvalidSlotError, PageFullError, RecordTooLargeError
+
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+
+HEADER_SIZE = _HEADER.size
+SLOT_SIZE = _SLOT.size
+
+
+class SlottedPage:
+    """A fixed-size page holding variable-length records in slots."""
+
+    def __init__(self, page_size: int = PAGE_SIZE, *, data: bytes | None = None) -> None:
+        self.page_size = page_size
+        if data is not None:
+            if len(data) != page_size:
+                raise ValueError(
+                    f"page image is {len(data)} bytes, expected {page_size}"
+                )
+            self._buf = bytearray(data)
+            self._slot_count, self._free_offset = _HEADER.unpack_from(self._buf, 0)
+        else:
+            self._buf = bytearray(page_size)
+            self._slot_count = 0
+            self._free_offset = HEADER_SIZE
+            self._write_header()
+
+    # -- header ----------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        _HEADER.pack_into(self._buf, 0, self._slot_count, self._free_offset)
+
+    @property
+    def slot_count(self) -> int:
+        """Number of slots, including tombstones."""
+        return self._slot_count
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record plus its slot."""
+        directory_start = self.page_size - self._slot_count * SLOT_SIZE
+        return max(0, directory_start - self._free_offset - SLOT_SIZE)
+
+    @staticmethod
+    def max_record_size(page_size: int = PAGE_SIZE) -> int:
+        """Largest record that fits on an empty page of ``page_size``."""
+        return page_size - HEADER_SIZE - SLOT_SIZE
+
+    # -- slot directory ----------------------------------------------------------
+
+    def _slot_pos(self, slot: int) -> int:
+        return self.page_size - (slot + 1) * SLOT_SIZE
+
+    def _read_slot(self, slot: int) -> tuple[int, int]:
+        if not 0 <= slot < self._slot_count:
+            raise InvalidSlotError(f"slot {slot} out of range [0, {self._slot_count})")
+        return _SLOT.unpack_from(self._buf, self._slot_pos(slot))
+
+    def _write_slot(self, slot: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self._buf, self._slot_pos(slot), offset, length)
+
+    # -- record operations --------------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record, returning its slot id.
+
+        Raises:
+            RecordTooLargeError: if the record can never fit on a page.
+            PageFullError: if this page lacks the free space.
+        """
+        if not record:
+            raise ValueError("cannot insert an empty record")
+        if len(record) > self.max_record_size(self.page_size):
+            raise RecordTooLargeError(
+                f"record of {len(record)} bytes exceeds page capacity"
+            )
+        if len(record) > self.free_space:
+            raise PageFullError(
+                f"record of {len(record)} bytes does not fit "
+                f"({self.free_space} bytes free)"
+            )
+        offset = self._free_offset
+        self._buf[offset : offset + len(record)] = record
+        slot = self._slot_count
+        self._slot_count += 1
+        self._free_offset += len(record)
+        self._write_slot(slot, offset, len(record))
+        self._write_header()
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Return the record in ``slot``.
+
+        Raises:
+            InvalidSlotError: for out-of-range or deleted slots.
+        """
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise InvalidSlotError(f"slot {slot} is deleted")
+        return bytes(self._buf[offset : offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Tombstone the record in ``slot`` (space is not reclaimed)."""
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise InvalidSlotError(f"slot {slot} is already deleted")
+        self._write_slot(slot, offset, 0)
+
+    def is_live(self, slot: int) -> bool:
+        """Whether ``slot`` holds a live (non-deleted) record."""
+        __, length = self._read_slot(slot)
+        return length > 0
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(slot, record)`` for every live record in slot order."""
+        for slot in range(self._slot_count):
+            offset, length = self._read_slot(slot)
+            if length:
+                yield slot, bytes(self._buf[offset : offset + length])
+
+    def live_count(self) -> int:
+        """Number of live records."""
+        return sum(1 for __ in self.records())
+
+    def to_bytes(self) -> bytes:
+        """The raw page image."""
+        return bytes(self._buf)

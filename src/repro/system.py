@@ -1,0 +1,209 @@
+"""The XPRS system facade — Figure 2 as one object.
+
+"There are one master Postgres backend and multiple slave Postgres
+backends.  The master backend is responsible for all the optimization
+and scheduling ... XPRS query processing consists of two phases.  In
+the first phase, the optimizer takes one or more user queries and
+generates certain sequential plans for each query.  In the second
+phase, the parallelizer parallelizes the sequential plans."
+
+:class:`XprsSystem` bundles the catalog, storage, optimizer,
+parallelizer and scheduler behind one API::
+
+    system = XprsSystem()
+    system.create_table("r1", [("a", "int4"), ("b", "text")], rows)
+    system.create_index("r1", "a")
+
+    answer = system.execute("SELECT count(*) FROM r1 WHERE a < 100")
+    report = system.explain("SELECT ...")   # plan + fragments + schedule
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .catalog import Catalog, Schema
+from .config import MachineConfig, paper_machine
+from .core.schedulers import InterWithAdjPolicy, SchedulingPolicy
+from .core.task import Task
+from .errors import ReproError
+from .plans.costing import CostModel, PlanEstimate, estimate_plan
+from .plans.fragments import FragmentGraph, fragment_plan
+from .plans.nodes import PlanNode
+from .sim.fluid import FluidSimulator, ScheduleResult
+from .sql.translate import TranslatedQuery, translate
+from .storage import BTreeIndex, DiskArray, HeapFile
+
+
+@dataclass
+class ExplainReport:
+    """Everything the master backend decides about one query.
+
+    Attributes:
+        sql: the statement text.
+        plan: the chosen sequential plan (phase 1).
+        estimate: per-node cost estimates.
+        fragments: the plan fragments (tasks) with blocking-edge deps.
+        tasks: scheduler-level tasks derived from the fragments.
+        schedule: the predicted parallel schedule (phase 2).
+    """
+
+    sql: str
+    plan: PlanNode
+    estimate: PlanEstimate
+    fragments: FragmentGraph
+    tasks: list[Task]
+    schedule: ScheduleResult
+
+    @property
+    def predicted_elapsed(self) -> float:
+        """``parcost(p, n)`` — the predicted parallel elapsed time."""
+        return self.schedule.elapsed
+
+    @property
+    def seqcost(self) -> float:
+        """The conventional sequential cost of the chosen plan."""
+        return self.estimate.seqcost()
+
+    def pretty(self) -> str:
+        """A multi-section EXPLAIN-style rendering."""
+        from .bench.gantt import render_gantt
+
+        parts = [
+            f"SQL: {self.sql}",
+            "",
+            "Plan:",
+            self.plan.pretty(1),
+            "",
+            f"Fragments: {len(self.fragments)} "
+            f"(seqcost {self.seqcost:.3f}s, parcost {self.predicted_elapsed:.3f}s)",
+        ]
+        for fragment in self.fragments.fragments:
+            parts.append(
+                f"  frag{fragment.fragment_id}: {fragment.root.label()} "
+                f"T={fragment.seq_time:.3f}s C={fragment.io_rate:.1f} ios/s "
+                f"deps={sorted(fragment.depends_on)}"
+            )
+        parts.append("")
+        parts.append(render_gantt(self.schedule, title="Predicted schedule:"))
+        return "\n".join(parts)
+
+
+class XprsSystem:
+    """The whole reproduction behind one object (the master backend).
+
+    Args:
+        machine: machine configuration (the paper's Sequent by default).
+        cost_model: CPU constants for estimation.
+        space: join-order search space for phase 1 (``"bushy"`` follows
+            Section 4; ``"left-deep"`` is the [HONG91] baseline).
+        policy: phase-2 scheduling policy (the adaptive algorithm by
+            default).
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: MachineConfig | None = None,
+        cost_model: CostModel | None = None,
+        space: str = "bushy",
+        policy: SchedulingPolicy | None = None,
+    ) -> None:
+        self.machine = machine or paper_machine()
+        self.cost_model = cost_model
+        self.space = space
+        self.policy = policy or InterWithAdjPolicy()
+        self.catalog = Catalog()
+        self.array = DiskArray(self.machine)
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, str]],
+        rows: Sequence[Sequence] = (),
+    ) -> HeapFile:
+        """Create, populate and ANALYZE a relation.
+
+        Args:
+            name: relation name.
+            columns: ``(column, type)`` pairs (int4 / float8 / text).
+            rows: initial rows to insert.
+        """
+        schema = Schema.of(*columns)
+        heap = HeapFile(schema, self.array, name=name)
+        for row in rows:
+            heap.insert(row)
+        self.catalog.create_table(name, schema, heap)
+        self.analyze(name)
+        return heap
+
+    def insert(self, table: str, rows: Sequence[Sequence]) -> None:
+        """Append rows to a relation (indexes are maintained)."""
+        entry = self.catalog.table(table)
+        for row in rows:
+            rid = entry.heap.insert(row)
+            for index_entry in entry.indexes.values():
+                position = entry.schema.index_of(index_entry.column)
+                key = entry.heap.fetch(rid)[position]
+                if key is not None:
+                    index_entry.index.insert(key, rid)
+
+    def create_index(self, table: str, column: str) -> BTreeIndex:
+        """Build an unclustered B+tree index over an existing column."""
+        entry = self.catalog.table(table)
+        position = entry.schema.index_of(column)
+        index = BTreeIndex()
+        for rid, row in entry.heap.scan():
+            if row[position] is not None:
+                index.insert(row[position], rid)
+        self.catalog.add_index(table, f"{table}_{column}_idx", column, index)
+        return index
+
+    def analyze(self, table: str) -> None:
+        """Recompute a relation's statistics (run after bulk inserts)."""
+        from .plans.costing import analyze_table
+
+        analyze_table(self.catalog, table)
+
+    # -- queries --------------------------------------------------------------------
+
+    def execute(self, sql: str) -> list:
+        """Plan and execute a SELECT; returns the result rows."""
+        return self._translate(sql).run(self.catalog)
+
+    def explain(self, sql: str) -> ExplainReport:
+        """Phase 1 + phase 2 without executing: plan, fragments, schedule."""
+        translated = self._translate(sql)
+        estimate = estimate_plan(
+            translated.plan,
+            self.catalog,
+            cost_model=self.cost_model,
+            machine=self.machine,
+        )
+        fragments = fragment_plan(translated.plan, estimate)
+        tasks = fragments.to_tasks()
+        simulator = FluidSimulator(self.machine, adjustment_overhead=0.0)
+        self.policy.reset()
+        schedule = simulator.run(list(tasks), self.policy)
+        return ExplainReport(
+            sql=sql,
+            plan=translated.plan,
+            estimate=estimate,
+            fragments=fragments,
+            tasks=tasks,
+            schedule=schedule,
+        )
+
+    def _translate(self, sql: str) -> TranslatedQuery:
+        if not isinstance(sql, str) or not sql.strip():
+            raise ReproError("execute() needs a SQL string")
+        return translate(
+            sql,
+            self.catalog,
+            space=self.space,
+            machine=self.machine,
+            cost_model=self.cost_model,
+        )

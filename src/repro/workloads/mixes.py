@@ -1,0 +1,201 @@
+"""The Section-3 benchmark workloads.
+
+"We will run the following four workloads against each of the three
+algorithms: all IO-bound tasks, all CPU-bound tasks, extremely IO-bound
+tasks with extremely CPU-bound tasks, and random-mix tasks.  Each
+workload consists of ten tasks. ... The length of each task is randomly
+chosen between scanning 100 tuples and scanning 10,000 tuples."
+
+The paper draws io rates from (table in Section 3):
+
+==================  =========================
+CPU-bound           uniform in [5, 30)
+IO-bound            uniform in (30, 60]
+extremely CPU-bound uniform in [5, 15]
+extremely IO-bound  uniform in [60, 70]
+==================  =========================
+
+**Calibration note.**  The paper measures a task's io rate with a
+strictly sequential single-stream scan (97 ios/s service), while its
+bandwidth ``B = 240`` is in almost-sequential units (60 ios/s per
+disk).  Our engines calibrate both in almost-sequential units for
+consistency, so sequential-scan io rates are physically capped at 60:
+the *extremely IO-bound* band becomes [52, 58] instead of the paper's
+[60, 70], and the IO-bound band (30, 55].  Both keep the same position
+relative to the B/N = 30 classification threshold, which is all the
+scheduling theory consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..config import MachineConfig, paper_machine
+from ..core.task import IOPattern, Task
+from ..errors import ConfigError
+from ..sim.micro import ScanSpec, spec_for_io_rate
+
+
+class WorkloadKind(Enum):
+    """The four Figure-7 workload mixes."""
+
+    ALL_CPU = "AllCPU"
+    ALL_IO = "AllIO"
+    EXTREME = "Extreme"
+    RANDOM = "Random"
+
+
+@dataclass(frozen=True)
+class RateBands:
+    """Io-rate bands for the generator, in ios/second.
+
+    Defaults are the paper's bands rescaled into almost-sequential
+    units (see the module calibration note).
+    """
+
+    cpu_low: float = 5.0
+    cpu_high: float = 30.0
+    io_low: float = 30.0
+    io_high: float = 55.0
+    extreme_cpu_low: float = 5.0
+    extreme_cpu_high: float = 15.0
+    extreme_io_low: float = 52.0
+    extreme_io_high: float = 58.0
+
+    def paper_table(self) -> list[tuple[str, str]]:
+        """Rows of the Section-3 io-rate table (for the tbl1 bench)."""
+        return [
+            ("CPU-bound", f"randomly chosen in [{self.cpu_low:g}, {self.cpu_high:g})"),
+            ("IO-bound", f"randomly chosen in ({self.io_low:g}, {self.io_high:g}]"),
+            (
+                "Extremely CPU-bound",
+                f"randomly chosen in [{self.extreme_cpu_low:g}, {self.extreme_cpu_high:g}]",
+            ),
+            (
+                "Extremely IO-bound",
+                f"randomly chosen in [{self.extreme_io_low:g}, {self.extreme_io_high:g}]",
+            ),
+        ]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the Section-3 generator.
+
+    Attributes:
+        n_tasks: tasks per workload (the paper uses 10).
+        min_pages / max_pages: task length range in pages.  The paper
+            scans 100-10,000 *tuples*; with the paper's one-tuple-per-
+            page r_max that is 100-10,000 pages, which we keep.
+        bands: io-rate bands.
+        index_scan_fraction: fraction of IO-bound tasks realized as
+            unclustered-index scans (random io) rather than large-tuple
+            sequential scans; only rates within the random-bandwidth
+            cap can be index scans.
+    """
+
+    n_tasks: int = 10
+    min_pages: int = 100
+    max_pages: int = 10_000
+    bands: RateBands = RateBands()
+    index_scan_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ConfigError("n_tasks must be >= 1")
+        if not 1 <= self.min_pages <= self.max_pages:
+            raise ConfigError("need 1 <= min_pages <= max_pages")
+        if not 0.0 <= self.index_scan_fraction <= 1.0:
+            raise ConfigError("index_scan_fraction must be in [0, 1]")
+
+
+def generate_specs(
+    kind: WorkloadKind,
+    *,
+    seed: int,
+    machine: MachineConfig | None = None,
+    config: WorkloadConfig | None = None,
+) -> list[ScanSpec]:
+    """Generate one Figure-7 workload as micro-engine scan specs."""
+    machine = machine or paper_machine()
+    config = config or WorkloadConfig()
+    bands = config.bands
+    rng = np.random.default_rng(seed)
+    specs: list[ScanSpec] = []
+    for i in range(config.n_tasks):
+        n_pages = int(rng.integers(config.min_pages, config.max_pages + 1))
+        if kind == WorkloadKind.ALL_CPU:
+            rate = float(rng.uniform(bands.cpu_low, bands.cpu_high))
+        elif kind == WorkloadKind.ALL_IO:
+            rate = float(rng.uniform(bands.io_low, bands.io_high))
+        elif kind == WorkloadKind.EXTREME:
+            if i % 2 == 0:
+                rate = float(rng.uniform(bands.extreme_io_low, bands.extreme_io_high))
+            else:
+                rate = float(rng.uniform(bands.extreme_cpu_low, bands.extreme_cpu_high))
+        elif kind == WorkloadKind.RANDOM:
+            rate = float(rng.uniform(bands.extreme_cpu_low, bands.extreme_io_high))
+        else:  # pragma: no cover - exhaustiveness guard
+            raise ConfigError(f"unknown workload kind: {kind!r}")
+        # IO-bound tasks within the random-bandwidth cap may be index
+        # scans ("all the tasks will be either a sequential scan or an
+        # index scan"); faster ones must be big-tuple sequential scans.
+        random_cap = machine.disk.random_ios_per_sec - 1.0
+        use_index = (
+            rate > machine.bound_threshold
+            and rate < random_cap
+            and rng.random() < config.index_scan_fraction
+        )
+        pattern = IOPattern.RANDOM if use_index else IOPattern.SEQUENTIAL
+        partitioning = "range" if use_index else "page"
+        specs.append(
+            spec_for_io_rate(
+                f"{kind.value.lower()}-{i}",
+                machine,
+                io_rate=rate,
+                n_pages=n_pages,
+                pattern=pattern,
+                partitioning=partitioning,
+            )
+        )
+    return specs
+
+
+def generate_tasks(
+    kind: WorkloadKind,
+    *,
+    seed: int,
+    machine: MachineConfig | None = None,
+    config: WorkloadConfig | None = None,
+) -> list[Task]:
+    """Generate one workload as abstract scheduler tasks (fluid engine)."""
+    machine = machine or paper_machine()
+    return [
+        spec.to_task(machine)
+        for spec in generate_specs(kind, seed=seed, machine=machine, config=config)
+    ]
+
+
+def poisson_arrivals(
+    tasks: list[Task],
+    *,
+    rate_per_second: float,
+    seed: int,
+) -> list[Task]:
+    """Turn a fixed task set into a Poisson arrival stream.
+
+    Used by the multi-user queue experiments: tasks keep their
+    profiles but arrive at exponential inter-arrival times.
+    """
+    if rate_per_second <= 0:
+        raise ConfigError("rate_per_second must be positive")
+    rng = np.random.default_rng(seed)
+    clock = 0.0
+    arrived = []
+    for task in tasks:
+        clock += float(rng.exponential(1.0 / rate_per_second))
+        arrived.append(task.with_arrival(clock))
+    return arrived

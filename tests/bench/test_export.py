@@ -1,0 +1,75 @@
+"""Tests for CSV/JSON experiment exporters."""
+
+import csv
+import io
+import json
+
+from repro.bench import (
+    figure7_to_csv,
+    figure7_to_json,
+    run_figure7,
+    schedule_to_json,
+)
+from repro.config import paper_machine
+from repro.core import InterWithAdjPolicy, make_task
+from repro.sim import FluidSimulator
+from repro.workloads import WorkloadConfig, WorkloadKind
+
+MACHINE = paper_machine()
+SMALL = WorkloadConfig(n_tasks=4, max_pages=300)
+
+
+def small_result():
+    return run_figure7(engine="fluid", seeds=(0, 1), machine=MACHINE, config=SMALL)
+
+
+class TestFigure7Export:
+    def test_csv_roundtrip(self):
+        result = small_result()
+        rows = list(csv.DictReader(io.StringIO(figure7_to_csv(result))))
+        # 4 workloads x 3 policies x 2 seeds
+        assert len(rows) == 24
+        assert {r["policy"] for r in rows} == {
+            "INTRA-ONLY",
+            "INTER-WITHOUT-ADJ",
+            "INTER-WITH-ADJ",
+        }
+        for row in rows:
+            assert float(row["elapsed_seconds"]) > 0
+
+    def test_csv_matches_cells(self):
+        result = small_result()
+        rows = list(csv.DictReader(io.StringIO(figure7_to_csv(result))))
+        first = next(
+            r
+            for r in rows
+            if r["workload"] == "Extreme" and r["policy"] == "INTRA-ONLY"
+        )
+        cell = result.cell(WorkloadKind.EXTREME, "INTRA-ONLY")
+        assert float(first["elapsed_seconds"]) == round(cell.elapsed[0], 6)
+
+    def test_json_document(self):
+        result = small_result()
+        document = json.loads(figure7_to_json(result))
+        assert document["experiment"] == "figure7"
+        assert document["machine"]["processors"] == 8
+        assert len(document["cells"]) == 12
+        for cell in document["cells"]:
+            assert len(cell["elapsed"]) == 2
+
+
+class TestScheduleExport:
+    def test_schedule_json(self):
+        tasks = [
+            make_task("io", io_rate=55.0, seq_time=20.0),
+            make_task("cpu", io_rate=8.0, seq_time=20.0),
+        ]
+        result = FluidSimulator(MACHINE).run(tasks, InterWithAdjPolicy())
+        document = json.loads(schedule_to_json(result))
+        assert document["policy"] == "INTER-WITH-ADJ"
+        assert len(document["records"]) == 2
+        names = {r["task"] for r in document["records"]}
+        assert names == {"io", "cpu"}
+        for record in document["records"]:
+            assert record["finished"] >= record["started"]
+            assert record["parallelism"]

@@ -1,0 +1,82 @@
+"""Tests for the system catalog."""
+
+import pytest
+
+from repro.catalog import Catalog, RelationStats, Schema
+from repro.errors import (
+    DuplicateRelationError,
+    UnknownColumnError,
+    UnknownRelationError,
+)
+
+SCHEMA = Schema.of(("a", "int4"), ("b", "text"))
+
+
+@pytest.fixture
+def catalog():
+    return Catalog()
+
+
+class TestTables:
+    def test_create_and_lookup(self, catalog):
+        entry = catalog.create_table("r1", SCHEMA, heap="heap-sentinel")
+        assert catalog.table("r1") is entry
+        assert entry.heap == "heap-sentinel"
+        assert catalog.has_table("r1")
+        assert "r1" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.create_table("r1", SCHEMA, heap=None)
+        with pytest.raises(DuplicateRelationError):
+            catalog.create_table("r1", SCHEMA, heap=None)
+
+    def test_unknown_lookup(self, catalog):
+        with pytest.raises(UnknownRelationError):
+            catalog.table("nope")
+
+    def test_drop(self, catalog):
+        catalog.create_table("r1", SCHEMA, heap=None)
+        catalog.drop_table("r1")
+        assert not catalog.has_table("r1")
+        with pytest.raises(UnknownRelationError):
+            catalog.drop_table("r1")
+
+    def test_tables_iterates_all(self, catalog):
+        catalog.create_table("r1", SCHEMA, heap=None)
+        catalog.create_table("r2", SCHEMA, heap=None)
+        assert {t.name for t in catalog.tables()} == {"r1", "r2"}
+
+
+class TestStats:
+    def test_set_stats(self, catalog):
+        catalog.create_table("r1", SCHEMA, heap=None)
+        stats = RelationStats(row_count=10, page_count=1, avg_row_size=8.0)
+        catalog.set_stats("r1", stats)
+        assert catalog.table("r1").stats is stats
+
+
+class TestIndexes:
+    def test_add_index(self, catalog):
+        catalog.create_table("r1", SCHEMA, heap=None)
+        entry = catalog.add_index("r1", "r1_a", "a", index="idx-sentinel")
+        assert entry.column == "a"
+        assert not entry.clustered
+        assert catalog.table("r1").index_on("a") is entry
+        assert catalog.table("r1").index_on("b") is None
+
+    def test_add_index_unknown_column(self, catalog):
+        catalog.create_table("r1", SCHEMA, heap=None)
+        with pytest.raises(UnknownColumnError):
+            catalog.add_index("r1", "bad", "zz", index=None)
+
+    def test_duplicate_index_name(self, catalog):
+        catalog.create_table("r1", SCHEMA, heap=None)
+        catalog.add_index("r1", "r1_a", "a", index=None)
+        with pytest.raises(DuplicateRelationError):
+            catalog.add_index("r1", "r1_a", "a", index=None)
+
+    def test_clustered_flag(self, catalog):
+        catalog.create_table("r1", SCHEMA, heap=None)
+        entry = catalog.add_index("r1", "r1_a", "a", index=None, clustered=True)
+        assert entry.clustered

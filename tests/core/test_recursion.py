@@ -1,0 +1,127 @@
+"""Tests for the literal T_n(S) recursion and its agreement with the
+fluid engine (the reproduction's core internal-consistency check)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import paper_machine
+from repro.core import InterWithAdjPolicy, make_task
+from repro.core.recursion import RecursionStep, elapsed_time_recursion
+from repro.errors import SchedulingError
+from repro.sim import FluidSimulator
+
+MACHINE = paper_machine()
+
+
+def task(rate, seq_time, name=None):
+    return make_task(name or f"c{rate}", io_rate=rate, seq_time=seq_time)
+
+
+class TestRecursionBasics:
+    def test_single_cpu_task(self):
+        # T / maxp = 16 / 8
+        assert elapsed_time_recursion([task(10.0, 16.0)], MACHINE) == pytest.approx(2.0)
+
+    def test_single_io_task(self):
+        # maxp = 240/60 = 4 -> 20/4
+        assert elapsed_time_recursion([task(60.0, 20.0)], MACHINE) == pytest.approx(5.0)
+
+    def test_pair_without_correction_closed_form(self):
+        fi = task(60.0, 32.0)
+        fj = task(10.0, 48.0)
+        # x = (3.2, 4.8): both finish at exactly t = 10.
+        t = elapsed_time_recursion([fi, fj], MACHINE, use_effective_bandwidth=False)
+        assert t == pytest.approx(10.0)
+
+    def test_pair_with_tail(self):
+        fi = task(60.0, 32.0)
+        fj = task(10.0, 24.0)  # finishes first at 5; fi has 16 left at maxp 4
+        t = elapsed_time_recursion([fi, fj], MACHINE, use_effective_bandwidth=False)
+        assert t == pytest.approx(9.0)
+
+    def test_trace_records_steps(self):
+        trace: list[RecursionStep] = []
+        elapsed_time_recursion(
+            [task(60.0, 32.0), task(10.0, 24.0)],
+            MACHINE,
+            use_effective_bandwidth=False,
+            trace=trace,
+        )
+        assert [s.kind for s in trace] == ["pair", "solo"]
+
+    def test_dependency_ordering(self):
+        a = task(60.0, 10.0, "build")
+        b = task(10.0, 10.0, "probe").with_dependencies([a.task_id])
+        trace: list[RecursionStep] = []
+        elapsed_time_recursion([a, b], MACHINE, trace=trace)
+        assert trace[0].tasks == ("build",)
+        assert trace[1].tasks == ("probe",)
+
+    def test_cycle_detected(self):
+        a = task(10.0, 5.0, "a")
+        b = task(12.0, 5.0, "b")
+        a2 = a.with_dependencies([b.task_id])
+        b2 = b.with_dependencies([a.task_id])
+        with pytest.raises(SchedulingError):
+            elapsed_time_recursion([a2, b2], MACHINE)
+
+    def test_uniform_cpu_set_is_sum_of_intra(self):
+        tasks = [task(10.0, 8.0), task(12.0, 16.0), task(20.0, 24.0)]
+        t = elapsed_time_recursion(tasks, MACHINE)
+        assert t == pytest.approx((8 + 16 + 24) / 8)
+
+
+class TestAgreementWithFluidEngine:
+    """The recursion and the simulated scheduler are the same function."""
+
+    def _fluid(self, tasks):
+        sim = FluidSimulator(MACHINE, adjustment_overhead=0.0)
+        return sim.run(list(tasks), InterWithAdjPolicy()).elapsed
+
+    def test_mixed_pair(self):
+        tasks = [task(60.0, 32.0), task(10.0, 48.0)]
+        assert self._fluid(tasks) == pytest.approx(
+            elapsed_time_recursion(tasks, MACHINE), rel=1e-6
+        )
+
+    def test_paper_style_workload(self):
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        tasks = [
+            task(float(rng.uniform(5, 58)), float(rng.uniform(2, 40)), f"t{i}")
+            for i in range(10)
+        ]
+        assert self._fluid(tasks) == pytest.approx(
+            elapsed_time_recursion(tasks, MACHINE), rel=1e-4
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=58.0),
+                st.floats(min_value=0.5, max_value=40.0),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_agreement_property(self, specs):
+        tasks = [
+            make_task(f"t{i}", io_rate=rate, seq_time=seq)
+            for i, (rate, seq) in enumerate(specs)
+        ]
+        recursion = elapsed_time_recursion(tasks, MACHINE)
+        fluid = self._fluid(tasks)
+        assert fluid == pytest.approx(recursion, rel=1e-4, abs=1e-6)
+
+    def test_agreement_with_dependencies(self):
+        a = task(55.0, 12.0, "scan-build")
+        b = task(8.0, 20.0, "probe").with_dependencies([a.task_id])
+        c = task(40.0, 15.0, "other-scan")
+        tasks = [a, b, c]
+        assert self._fluid(tasks) == pytest.approx(
+            elapsed_time_recursion(tasks, MACHINE), rel=1e-4
+        )

@@ -1,0 +1,63 @@
+"""DP optimality: the pruned search finds the exhaustive optimum.
+
+With ``seqcost`` (a sum of per-node costs, so Bellman's principle
+holds), the dynamic program with per-subset pruning must return exactly
+the cheapest plan the exhaustive enumerator can construct.
+"""
+
+import pytest
+
+from repro.optimizer import enumerate_all_bushy, enumerate_space
+from repro.plans import estimate_plan
+from repro.workloads import chain_join, star_join
+
+
+def seqcost_fn(catalog):
+    return lambda plan: estimate_plan(plan, catalog).seqcost()
+
+
+@pytest.mark.parametrize("n_relations", [2, 3, 4])
+def test_dp_matches_exhaustive_on_chains(n_relations):
+    schema = chain_join(n_relations, rows_per_relation=150, seed=23)
+    cost = seqcost_fn(schema.catalog)
+    dp_best = cost(
+        enumerate_space(
+            schema.query, schema.catalog, cost, space="bushy", methods=("hash",)
+        )
+    )
+    exhaustive_best = min(
+        cost(plan)
+        for plan in enumerate_all_bushy(
+            schema.query, schema.catalog, methods=("hash",)
+        )
+    )
+    assert dp_best == pytest.approx(exhaustive_best, rel=1e-12)
+
+
+def test_dp_matches_exhaustive_on_star():
+    schema = star_join(3, fact_rows=300, dimension_rows=60, seed=23)
+    cost = seqcost_fn(schema.catalog)
+    dp_best = cost(
+        enumerate_space(
+            schema.query, schema.catalog, cost, space="bushy", methods=("hash",)
+        )
+    )
+    exhaustive_best = min(
+        cost(plan)
+        for plan in enumerate_all_bushy(
+            schema.query, schema.catalog, methods=("hash",)
+        )
+    )
+    assert dp_best == pytest.approx(exhaustive_best, rel=1e-12)
+
+
+def test_deep_spaces_are_subsets_of_bushy():
+    """Left/right-deep optima can never beat the bushy optimum."""
+    schema = chain_join(4, rows_per_relation=150, seed=29)
+    cost = seqcost_fn(schema.catalog)
+    bushy = cost(enumerate_space(schema.query, schema.catalog, cost, space="bushy"))
+    for space in ("left-deep", "right-deep"):
+        deep = cost(
+            enumerate_space(schema.query, schema.catalog, cost, space=space)
+        )
+        assert bushy <= deep + 1e-12

@@ -1,0 +1,67 @@
+"""Tests for Query validation and the join graph."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.executor import between
+from repro.optimizer import JoinPredicate, Query
+
+
+class TestValidation:
+    def test_valid_query(self, catalog, chain_query):
+        chain_query.validate(catalog)  # no raise
+
+    def test_empty_rejected(self, catalog):
+        with pytest.raises(OptimizerError):
+            Query(relations=[]).validate(catalog)
+
+    def test_duplicate_relation_rejected(self, catalog):
+        with pytest.raises(OptimizerError):
+            Query(relations=["r1", "r1"]).validate(catalog)
+
+    def test_join_on_foreign_relation_rejected(self, catalog):
+        q = Query(
+            relations=["r1", "r2"],
+            joins=[JoinPredicate("r1", "b1", "r9", "x")],
+        )
+        with pytest.raises(OptimizerError):
+            q.validate(catalog)
+
+    def test_join_on_wrong_column_rejected(self, catalog):
+        q = Query(
+            relations=["r1", "r2"],
+            joins=[JoinPredicate("r1", "c2", "r2", "b2")],  # c2 is r2's
+        )
+        with pytest.raises(OptimizerError):
+            q.validate(catalog)
+
+    def test_selection_on_foreign_relation_rejected(self, catalog):
+        q = Query(relations=["r1"], selections={"r2": between("b2", 0, 1)})
+        with pytest.raises(OptimizerError):
+            q.validate(catalog)
+
+
+class TestJoinGraph:
+    def test_joins_between(self, chain_query):
+        found = chain_query.joins_between({"r1"}, {"r2"})
+        assert len(found) == 1
+        assert found[0].left_col == "b1"
+        assert chain_query.joins_between({"r1"}, {"r3"}) == []
+        assert len(chain_query.joins_between({"r1", "r2"}, {"r3"})) == 1
+
+    def test_connectivity(self, chain_query):
+        assert chain_query.is_connected(frozenset(["r1", "r2", "r3"]))
+        assert chain_query.is_connected(frozenset(["r1", "r2"]))
+        assert not chain_query.is_connected(frozenset(["r1", "r3"]))
+        assert chain_query.is_connected(frozenset(["r1"]))
+
+    def test_oriented(self):
+        join = JoinPredicate("r1", "b1", "r2", "b2")
+        assert join.oriented(frozenset(["r1"])) == ("b1", "b2")
+        assert join.oriented(frozenset(["r2"])) == ("b2", "b1")
+
+    def test_connects(self):
+        join = JoinPredicate("r1", "b1", "r2", "b2")
+        assert join.connects(frozenset(["r1"]), frozenset(["r2"]))
+        assert join.connects(frozenset(["r2"]), frozenset(["r1"]))
+        assert not join.connects(frozenset(["r1"]), frozenset(["r3"]))

@@ -1,0 +1,82 @@
+"""Tests for parcost and the two-phase optimizer (Section 4)."""
+
+import pytest
+
+from repro.config import paper_machine
+from repro.core import IntraOnlyPolicy
+from repro.optimizer import (
+    OptimizerMode,
+    TwoPhaseOptimizer,
+    parallel_cost,
+    parcost,
+)
+from repro.plans import HashJoinNode, SeqScanNode, is_left_deep
+
+
+class TestParcost:
+    def test_parcost_below_seqcost(self, catalog):
+        plan = HashJoinNode(SeqScanNode("r1"), SeqScanNode("r2"), "b1", "b2")
+        pc = parallel_cost(plan, catalog)
+        assert 0 < pc.elapsed < pc.seqcost
+        assert pc.speedup > 1.0
+
+    def test_parcost_matches_schedule_elapsed(self, catalog):
+        plan = HashJoinNode(SeqScanNode("r1"), SeqScanNode("r2"), "b1", "b2")
+        pc = parallel_cost(plan, catalog)
+        assert parcost(plan, catalog) == pytest.approx(pc.schedule.elapsed)
+
+    def test_dependencies_respected_in_schedule(self, catalog):
+        plan = HashJoinNode(SeqScanNode("r1"), SeqScanNode("r2"), "b1", "b2")
+        pc = parallel_cost(plan, catalog)
+        build_task = pc.tasks[1]
+        probe_task = pc.tasks[0]
+        build = pc.schedule.record_for(build_task)
+        probe = pc.schedule.record_for(probe_task)
+        assert probe.started_at >= build.finished_at - 1e-9
+
+    def test_more_processors_not_slower(self, catalog):
+        plan = HashJoinNode(SeqScanNode("r1"), SeqScanNode("r2"), "b1", "b2")
+        small = parcost(plan, catalog, machine=paper_machine().with_processors(2))
+        big = parcost(plan, catalog, machine=paper_machine().with_processors(8))
+        assert big <= small + 1e-9
+
+    def test_custom_policy(self, catalog):
+        plan = HashJoinNode(SeqScanNode("r1"), SeqScanNode("r2"), "b1", "b2")
+        pc = parallel_cost(plan, catalog, policy=IntraOnlyPolicy())
+        assert pc.schedule.policy_name == "INTRA-ONLY"
+
+
+class TestTwoPhase:
+    def test_left_deep_mode_produces_left_deep(self, catalog, chain_query):
+        opt = TwoPhaseOptimizer(catalog)
+        plan = opt.choose_plan(chain_query, OptimizerMode.LEFT_DEEP_SEQ)
+        assert is_left_deep(plan)
+
+    def test_all_modes_produce_correct_results(self, catalog, chain_query):
+        opt = TwoPhaseOptimizer(catalog)
+        counts = set()
+        for mode in OptimizerMode:
+            plan = opt.choose_plan(chain_query, mode)
+            counts.add(len(plan.to_operator(catalog).run()))
+        assert len(counts) == 1
+
+    def test_parcost_mode_not_worse_than_left_deep(self, catalog, chain_query):
+        opt = TwoPhaseOptimizer(catalog)
+        ld = opt.optimize(chain_query, mode=OptimizerMode.LEFT_DEEP_SEQ)
+        par = opt.optimize(chain_query, mode=OptimizerMode.BUSHY_PAR)
+        assert par.predicted_elapsed <= ld.predicted_elapsed + 1e-9
+
+    def test_optimize_returns_full_artifacts(self, catalog, chain_query):
+        opt = TwoPhaseOptimizer(catalog)
+        result = opt.optimize(chain_query, mode=OptimizerMode.BUSHY_PAR)
+        assert result.mode == OptimizerMode.BUSHY_PAR
+        assert len(result.parallel.fragments) >= 2
+        assert result.predicted_elapsed > 0
+        assert result.parallel.tasks
+
+    def test_parallelize_with_alternate_policy(self, catalog, chain_query):
+        opt = TwoPhaseOptimizer(catalog)
+        plan = opt.choose_plan(chain_query, OptimizerMode.LEFT_DEEP_SEQ)
+        adaptive = opt.parallelize(plan)
+        intra = opt.parallelize(plan, policy=IntraOnlyPolicy())
+        assert adaptive.elapsed <= intra.elapsed + 1e-9

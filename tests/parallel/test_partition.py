@@ -1,0 +1,185 @@
+"""Tests for the partitioning arithmetic (pure, no processes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.parallel import (
+    PageAssignment,
+    adjusted_assignments,
+    balanced_ranges,
+    maxpage_split,
+    page_assignments,
+    repartition_intervals,
+)
+
+
+class TestPageAssignment:
+    def test_pages_of_stride(self):
+        a = PageAssignment(lo=0, hi=10, stride=3, residue=1)
+        assert list(a.pages()) == [1, 4, 7, 10]
+
+    def test_first_at_or_after(self):
+        a = PageAssignment(lo=0, hi=20, stride=4, residue=2)
+        assert a.first_at_or_after(0) == 2
+        assert a.first_at_or_after(3) == 6
+        assert a.first_at_or_after(6) == 6
+        assert a.first_at_or_after(19) is None
+
+    def test_empty_assignment(self):
+        a = PageAssignment(lo=5, hi=4, stride=2, residue=0)
+        assert list(a.pages()) == []
+        assert a.count() == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lo": 0, "hi": 5, "stride": 0, "residue": 0},
+        {"lo": 0, "hi": 5, "stride": 3, "residue": 3},
+        {"lo": 0, "hi": 5, "stride": 3, "residue": -1},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(SchedulingError):
+            PageAssignment(**kwargs)
+
+
+class TestPagePartition:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_partition_is_exact(self, n_pages, parallelism):
+        assignments = page_assignments(n_pages, parallelism)
+        covered = sorted(p for a in assignments for p in a.pages())
+        assert covered == list(range(n_pages))
+
+    def test_bad_args(self):
+        with pytest.raises(SchedulingError):
+            page_assignments(-1, 2)
+        with pytest.raises(SchedulingError):
+            page_assignments(10, 0)
+
+
+class TestMaxpage:
+    def test_is_max_cursor(self):
+        assert maxpage_split([3, 9, 5], 100) == 9
+
+    def test_clamped_to_n_pages(self):
+        assert maxpage_split([120], 100) == 100
+
+    def test_empty_cursors(self):
+        assert maxpage_split([], 50) == 50
+
+
+class TestAdjustedAssignments:
+    """The Figure-5 protocol must preserve exactly-once coverage."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n_pages=st.integers(min_value=1, max_value=400),
+        old_n=st.integers(min_value=1, max_value=8),
+        new_n=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_exactly_once_coverage(self, n_pages, old_n, new_n, data):
+        old = page_assignments(n_pages, old_n)
+        # Cursors: each slave has consumed a prefix of its stride.
+        cursors = [
+            data.draw(st.integers(min_value=0, max_value=n_pages), label=f"c{i}")
+            for i in range(old_n)
+        ]
+        maxpage, per_slave = adjusted_assignments(old, cursors, n_pages, new_n)
+        # Pages already scanned by slave i: old stride pages < cursor_i.
+        scanned = [
+            {p for p in old[i].pages() if p < cursors[i]} for i in range(old_n)
+        ]
+        # Pages each slave will scan after the adjustment.
+        future: list[set] = []
+        for i, assignments in enumerate(per_slave):
+            cursor = cursors[i] if i < old_n else 0
+            pages = set()
+            for a in assignments:
+                pages |= {p for p in a.pages() if p >= cursor}
+            future.append(pages)
+        all_scanned = set().union(*scanned) if scanned else set()
+        all_future = set().union(*future) if future else set()
+        # No double coverage:
+        total = sum(len(s) for s in scanned) + sum(len(f) for f in future)
+        assert len(all_scanned | all_future) == total
+        # Full coverage:
+        assert all_scanned | all_future == set(range(n_pages))
+
+    def test_mismatched_cursors_rejected(self):
+        old = page_assignments(10, 2)
+        with pytest.raises(SchedulingError):
+            adjusted_assignments(old, [0], 10, 3)
+
+
+class TestBalancedRanges:
+    def test_even_cut(self):
+        ranges = balanced_ranges(list(range(100)), 4)
+        assert len(ranges) == 4
+        assert ranges[0][0] is None  # open below
+        assert ranges[-1][1] is None  # open above
+        # Interior bounds line up.
+        assert ranges[0][1] == ranges[1][0]
+
+    def test_more_slaves_than_keys(self):
+        ranges = balanced_ranges([1, 2], 5)
+        assert len(ranges) == 5
+        assert ranges.count(None) >= 3
+
+    def test_empty_separators(self):
+        assert balanced_ranges([], 3) == [None, None, None]
+
+    def test_bad_parallelism(self):
+        with pytest.raises(SchedulingError):
+            balanced_ranges([1], 0)
+
+
+class TestRepartitionIntervals:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        intervals=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=300),
+                st.integers(min_value=0, max_value=300),
+            ).map(lambda t: (min(t), max(t))),
+            max_size=6,
+        ),
+        parallelism=st.integers(min_value=1, max_value=8),
+    )
+    def test_shares_cover_exactly(self, intervals, parallelism):
+        # Deduplicate overlapping inputs by working with disjoint keys.
+        keys = set()
+        disjoint = []
+        for lo, hi in intervals:
+            span = [k for k in range(lo, hi + 1) if k not in keys]
+            keys.update(span)
+            # split runs back into intervals
+            run_start = None
+            prev = None
+            for k in sorted(span):
+                if run_start is None:
+                    run_start = prev = k
+                elif k == prev + 1:
+                    prev = k
+                else:
+                    disjoint.append((run_start, prev))
+                    run_start = prev = k
+            if run_start is not None:
+                disjoint.append((run_start, prev))
+        shares = repartition_intervals(disjoint, parallelism)
+        assert len(shares) == parallelism
+        covered = [k for share in shares for lo, hi in share for k in range(lo, hi + 1)]
+        assert sorted(covered) == sorted(keys)
+        # Shares are balanced within 1 key... per construction quotas:
+        sizes = [sum(hi - lo + 1 for lo, hi in share) for share in shares]
+        if keys:
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_empty(self):
+        assert repartition_intervals([], 3) == [[], [], []]
+
+    def test_slave_may_get_multiple_intervals(self):
+        shares = repartition_intervals([(0, 1), (10, 11)], 1)
+        assert shares == [[(0, 1), (10, 11)]]

@@ -1,0 +1,38 @@
+"""Shared fixtures: a populated catalog with three joinable relations."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import Catalog, Schema
+from repro.config import paper_machine
+from repro.plans import analyze_table
+from repro.storage import BTreeIndex, DiskArray, HeapFile
+
+
+@pytest.fixture
+def catalog():
+    """r1(a, b1, p1), r2(b2, c2, p2), r3(c3, d3, p3) + index on r1.a."""
+    machine = paper_machine()
+    array = DiskArray(machine)
+    cat = Catalog()
+    rng = np.random.default_rng(7)
+
+    def make_rel(name, int_cols, text_col, n, payload):
+        schema = Schema.of(*[(c, "int4") for c in int_cols], (text_col, "text"))
+        heap = HeapFile(schema, array, name=name)
+        for __ in range(n):
+            vals = tuple(int(rng.integers(0, n // 2 + 1)) for __ in int_cols)
+            heap.insert(vals + ("x" * payload,))
+        cat.create_table(name, schema, heap)
+        analyze_table(cat, name)
+        return heap
+
+    heap1 = make_rel("r1", ["a", "b1"], "p1", 600, 30)
+    make_rel("r2", ["b2", "c2"], "p2", 400, 30)
+    make_rel("r3", ["c3", "d3"], "p3", 200, 30)
+
+    index = BTreeIndex()
+    for rid, row in heap1.scan():
+        index.insert(row[0], rid)
+    cat.add_index("r1", "r1_a_idx", "a", index)
+    return cat

@@ -1,0 +1,142 @@
+"""Tests for fragment decomposition (Section 2.1)."""
+
+import pytest
+
+from repro.core.task import IOPattern
+from repro.errors import PlanError
+from repro.executor import AggregateSpec, col, eq
+from repro.plans import (
+    AggregateNode,
+    FilterNode,
+    HashJoinNode,
+    IndexScanNode,
+    MergeJoinNode,
+    NestLoopJoinNode,
+    SeqScanNode,
+    SortNode,
+    estimate_plan,
+    fragment_plan,
+)
+
+
+def scan(table="r1"):
+    return SeqScanNode(table)
+
+
+class TestDecomposition:
+    def test_scan_is_single_fragment(self):
+        graph = fragment_plan(scan())
+        assert len(graph) == 1
+        assert graph.root_fragment.depends_on == set()
+
+    def test_pipeline_stays_one_fragment(self):
+        plan = FilterNode(scan(), eq(col("a"), 1))
+        graph = fragment_plan(plan)
+        assert len(graph) == 1
+        assert len(graph.root_fragment.nodes) == 2
+
+    def test_hash_join_splits_at_build(self):
+        plan = HashJoinNode(scan("r1"), scan("r2"), "b1", "b2")
+        graph = fragment_plan(plan)
+        assert len(graph) == 2
+        # Probe fragment (join + outer scan) depends on build fragment.
+        probe = graph.root_fragment
+        assert len(probe.nodes) == 2
+        (build_id,) = probe.depends_on
+        build = graph.fragments[build_id]
+        assert build.root.label() == "SeqScan(r2)"
+
+    def test_merge_join_splits_at_sorts(self):
+        plan = MergeJoinNode(
+            SortNode(scan("r1"), ("b1",)), SortNode(scan("r2"), ("b2",)), "b1", "b2"
+        )
+        graph = fragment_plan(plan)
+        # Fragment 0: join + both sorts; fragments 1, 2: the scans.
+        assert len(graph) == 3
+        assert graph.root_fragment.depends_on == {1, 2}
+
+    def test_bushy_plan_fragments(self):
+        left = HashJoinNode(scan("r1"), scan("r2"), "b1", "b2")
+        right = HashJoinNode(scan("r3"), scan("r4"), "d3", "d4")
+        plan = HashJoinNode(left, right, "c2", "c3")
+        graph = fragment_plan(plan)
+        # top probe (join+left-probe chain) | right subtree build | two
+        # inner builds.
+        assert len(graph) == 4
+        order = graph.topological_order()
+        assert order[-1] is graph.root_fragment
+
+    def test_aggregation_on_join(self):
+        join = HashJoinNode(scan("r1"), scan("r2"), "b1", "b2")
+        plan = AggregateNode(join, (AggregateSpec("count"),))
+        graph = fragment_plan(plan)
+        assert len(graph) == 3
+        assert graph.root_fragment.root is plan
+
+    def test_nestloop_with_index_inner_is_one_fragment(self):
+        inner = IndexScanNode("r1", "r1_a_idx", low=0, high=10)
+        plan = NestLoopJoinNode(scan("r2"), inner, None)
+        graph = fragment_plan(plan)
+        assert len(graph) == 1
+
+    def test_ready_progression(self):
+        plan = HashJoinNode(scan("r1"), scan("r2"), "b1", "b2")
+        graph = fragment_plan(plan)
+        first = graph.ready(set())
+        assert [f.fragment_id for f in first] == [1]
+        second = graph.ready({1})
+        assert [f.fragment_id for f in second] == [0]
+
+    def test_fragment_of(self):
+        plan = HashJoinNode(scan("r1"), scan("r2"), "b1", "b2")
+        graph = fragment_plan(plan)
+        assert graph.fragment_of(plan) is graph.root_fragment
+        assert graph.fragment_of(plan.children[1]).fragment_id == 1
+        with pytest.raises(PlanError):
+            graph.fragment_of(scan("r9"))
+
+
+class TestProfiles:
+    def test_unprofiled_fragment_cannot_become_task(self):
+        graph = fragment_plan(scan())
+        with pytest.raises(PlanError):
+            graph.root_fragment.to_task()
+
+    def test_profiles_sum_to_plan_totals(self, catalog):
+        plan = HashJoinNode(SeqScanNode("r1"), SeqScanNode("r2"), "b1", "b2")
+        estimate = estimate_plan(plan, catalog)
+        graph = fragment_plan(plan, estimate)
+        assert sum(f.io_count for f in graph.fragments) == pytest.approx(
+            estimate.total_ios()
+        )
+        assert sum(f.seq_time for f in graph.fragments) == pytest.approx(
+            estimate.seqcost()
+        )
+
+    def test_seq_scan_fragment_is_sequential_pattern(self, catalog):
+        estimate = estimate_plan(SeqScanNode("r1"), catalog)
+        graph = fragment_plan(estimate.plan, estimate)
+        assert graph.root_fragment.io_pattern == IOPattern.SEQUENTIAL
+
+    def test_index_fragment_is_random_pattern(self, catalog):
+        plan = IndexScanNode("r1", "r1_a_idx", low=0, high=300)
+        estimate = estimate_plan(plan, catalog)
+        graph = fragment_plan(plan, estimate)
+        assert graph.root_fragment.io_pattern == IOPattern.RANDOM
+
+    def test_to_tasks_wires_dependencies(self, catalog):
+        plan = HashJoinNode(SeqScanNode("r1"), SeqScanNode("r2"), "b1", "b2")
+        estimate = estimate_plan(plan, catalog)
+        tasks = fragment_plan(plan, estimate).to_tasks()
+        assert len(tasks) == 2
+        probe, build = tasks
+        assert probe.depends_on == {build.task_id}
+        assert build.depends_on == frozenset()
+
+    def test_task_io_rate_positive(self, catalog):
+        plan = HashJoinNode(SeqScanNode("r1"), SeqScanNode("r2"), "b1", "b2")
+        estimate = estimate_plan(plan, catalog)
+        for fragment in fragment_plan(plan, estimate).fragments:
+            assert fragment.io_rate > 0
+            task = fragment.to_task()
+            assert task.seq_time == pytest.approx(fragment.seq_time)

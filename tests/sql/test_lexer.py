@@ -1,0 +1,69 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import (
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OPERATOR,
+    PUNCT,
+    STRING,
+    SqlError,
+    tokenize,
+    unquote,
+)
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)][:-1]  # drop END
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)][:-1]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert values("select FROM Where") == ["SELECT", "FROM", "WHERE"]
+        assert kinds("select") == [KEYWORD]
+
+    def test_identifiers(self):
+        assert kinds("foo bar_baz x1") == [IDENT, IDENT, IDENT]
+
+    def test_qualified_identifier_is_one_token(self):
+        tokens = tokenize("r1.a")
+        assert tokens[0].kind == IDENT
+        assert tokens[0].value == "r1.a"
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5") == [NUMBER, NUMBER, NUMBER]
+
+    def test_strings(self):
+        tokens = tokenize("'hello' 'it''s'")
+        assert [t.kind for t in tokens[:-1]] == [STRING, STRING]
+        assert unquote(tokens[1].value) == "it's"
+
+    def test_operators(self):
+        assert values("= != <> < <= > >=") == ["=", "!=", "!=", "<", "<=", ">", ">="]
+        assert all(k == OPERATOR for k in kinds("= < >="))
+
+    def test_punctuation(self):
+        assert kinds("( ) , *") == [PUNCT] * 4
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("a ; b")
+
+    def test_keyword_like_qualified_name_is_ident(self):
+        # "select.x" would be weird but must not lex as a keyword.
+        tokens = tokenize("r1.select")
+        assert tokens[0].kind == IDENT
+
+    def test_end_sentinel(self):
+        assert tokenize("a")[-1].kind == "end"

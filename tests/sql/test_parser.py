@@ -1,0 +1,130 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sql import parse
+from repro.sql import ast
+from repro.sql.lexer import SqlError
+
+
+class TestSelectList:
+    def test_star(self):
+        statement = parse("SELECT * FROM r1")
+        assert statement.star
+        assert statement.tables == ["r1"]
+
+    def test_columns_with_aliases(self):
+        statement = parse("SELECT a, b AS beta FROM r1")
+        assert [i.column.name for i in statement.items] == ["a", "b"]
+        assert statement.items[1].alias == "beta"
+
+    def test_qualified_columns(self):
+        statement = parse("SELECT r1.a FROM r1")
+        assert statement.items[0].column == ast.ColumnName("a", "r1")
+
+    def test_aggregates(self):
+        statement = parse("SELECT count(*), sum(a) AS total FROM r1")
+        assert statement.aggregates[0] == ast.Aggregate("count", None, None)
+        assert statement.aggregates[1].function == "sum"
+        assert statement.aggregates[1].alias == "total"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(*) FROM r1")
+
+
+class TestFromWhere:
+    def test_multiple_tables(self):
+        statement = parse("SELECT * FROM r1, r2, r3")
+        assert statement.tables == ["r1", "r2", "r3"]
+
+    def test_comparison(self):
+        statement = parse("SELECT * FROM r1 WHERE a < 5")
+        assert statement.where == ast.Comparison(
+            "<", ast.ColumnName("a"), ast.Literal(5)
+        )
+
+    def test_string_and_float_literals(self):
+        statement = parse("SELECT * FROM r1 WHERE b = 'x' AND c > 1.5")
+        assert isinstance(statement.where, ast.And)
+        left, right = statement.where.operands
+        assert left.right == ast.Literal("x")
+        assert right.right == ast.Literal(1.5)
+
+    def test_between(self):
+        statement = parse("SELECT * FROM r1 WHERE a BETWEEN 1 AND 9")
+        assert statement.where == ast.Between(
+            ast.ColumnName("a"), ast.Literal(1), ast.Literal(9)
+        )
+
+    def test_is_null_and_is_not_null(self):
+        s1 = parse("SELECT * FROM r1 WHERE b IS NULL")
+        s2 = parse("SELECT * FROM r1 WHERE b IS NOT NULL")
+        assert s1.where == ast.IsNull(ast.ColumnName("b"), False)
+        assert s2.where == ast.IsNull(ast.ColumnName("b"), True)
+
+    def test_and_or_precedence(self):
+        statement = parse("SELECT * FROM r1 WHERE a = 1 OR a = 2 AND b = 3")
+        assert isinstance(statement.where, ast.Or)
+        assert isinstance(statement.where.operands[1], ast.And)
+
+    def test_parentheses_override(self):
+        statement = parse("SELECT * FROM r1 WHERE (a = 1 OR a = 2) AND b = 3")
+        assert isinstance(statement.where, ast.And)
+
+    def test_not(self):
+        statement = parse("SELECT * FROM r1 WHERE NOT a = 1")
+        assert isinstance(statement.where, ast.Not)
+
+    def test_column_to_column(self):
+        statement = parse("SELECT * FROM r1, r2 WHERE a = b2")
+        assert statement.where == ast.Comparison(
+            "=", ast.ColumnName("a"), ast.ColumnName("b2")
+        )
+
+
+class TestTrailingClauses:
+    def test_group_by(self):
+        statement = parse("SELECT a, count(*) FROM r1 GROUP BY a")
+        assert statement.group_by == [ast.ColumnName("a")]
+
+    def test_order_by_directions(self):
+        statement = parse("SELECT a, b FROM r1 ORDER BY a DESC, b ASC")
+        assert statement.order_by == [
+            ast.OrderItem(ast.ColumnName("a"), ascending=False),
+            ast.OrderItem(ast.ColumnName("b"), ascending=True),
+        ]
+
+    def test_limit(self):
+        assert parse("SELECT * FROM r1 LIMIT 7").limit == 7
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM r1 LIMIT 1.5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "FROM r1",
+            "SELECT FROM r1",
+            "SELECT * r1",
+            "SELECT * FROM",
+            "SELECT * FROM r1 WHERE",
+            "SELECT * FROM r1 WHERE a",
+            "SELECT * FROM r1 WHERE a = ",
+            "SELECT * FROM r1 extra",
+            "SELECT a b FROM r1",
+            "SELECT * FROM r1 WHERE a BETWEEN 1",
+            "SELECT * FROM r1 GROUP a",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlError) as info:
+            parse("SELECT * FROM r1 WHERE ?")
+        assert info.value.position is not None

@@ -1,0 +1,93 @@
+"""Property-based tests: SQL results must equal direct computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Schema
+from repro.config import paper_machine
+from repro.plans import analyze_table
+from repro.sql import run_sql
+from repro.storage import DiskArray, HeapFile
+
+ROWS = [(i, (i * 13) % 50, None if i % 7 == 0 else f"v{i % 9}") for i in range(240)]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = Catalog()
+    schema = Schema.of(("k", "int4"), ("v", "int4"), ("tag", "text"))
+    heap = HeapFile(schema, DiskArray(paper_machine()), name="t")
+    heap.insert_many(ROWS)
+    cat.create_table("t", schema, heap)
+    analyze_table(cat, "t")
+    return cat
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    low=st.integers(min_value=-10, max_value=260),
+    high=st.integers(min_value=-10, max_value=260),
+)
+def test_between_equals_manual_filter(catalog, low, high):
+    low, high = min(low, high), max(low, high)
+    rows = run_sql(f"SELECT k FROM t WHERE k BETWEEN {low} AND {high}", catalog)
+    expected = sorted(k for k, __, __ in ROWS if low <= k <= high)
+    assert sorted(r[0] for r in rows) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    op=st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+    value=st.integers(min_value=-5, max_value=55),
+)
+def test_comparison_equals_manual_filter(catalog, op, value):
+    import operator
+
+    ops = {
+        "<": operator.lt,
+        "<=": operator.le,
+        ">": operator.gt,
+        ">=": operator.ge,
+        "=": operator.eq,
+        "!=": operator.ne,
+    }
+    rows = run_sql(f"SELECT k FROM t WHERE v {op} {value}", catalog)
+    expected = sorted(k for k, v, __ in ROWS if ops[op](v, value))
+    assert sorted(r[0] for r in rows) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=49),
+    b=st.integers(min_value=0, max_value=49),
+)
+def test_or_equals_union(catalog, a, b):
+    rows = run_sql(f"SELECT k FROM t WHERE v = {a} OR v = {b}", catalog)
+    expected = sorted(k for k, v, __ in ROWS if v == a or v == b)
+    assert sorted(r[0] for r in rows) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(limit=st.integers(min_value=0, max_value=300))
+def test_order_by_limit_prefix_property(catalog, limit):
+    rows = run_sql(f"SELECT k FROM t ORDER BY k LIMIT {limit}", catalog)
+    assert [r[0] for r in rows] == sorted(k for k, __, __ in ROWS)[:limit]
+
+
+@settings(max_examples=20, deadline=None)
+@given(value=st.integers(min_value=0, max_value=55))
+def test_count_group_consistency(catalog, value):
+    grouped = run_sql("SELECT v, count(*) AS n FROM t GROUP BY v", catalog)
+    by_value = dict(grouped)
+    expected = sum(1 for __, v, __ in ROWS if v == value)
+    assert by_value.get(value, 0) == expected
+    # Groups always sum to the table cardinality.
+    assert sum(by_value.values()) == len(ROWS)
+
+
+def test_null_partition(catalog):
+    nulls = run_sql("SELECT count(*) FROM t WHERE tag IS NULL", catalog)[0][0]
+    non_nulls = run_sql("SELECT count(*) FROM t WHERE tag IS NOT NULL", catalog)[0][0]
+    assert nulls + non_nulls == len(ROWS)
+    assert nulls == sum(1 for __, __, tag in ROWS if tag is None)

@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_calibrate(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "r_min scan io rate" in out
+        assert "240 ios/s" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "IO-bound" in capsys.readouterr().out
+
+    def test_fig4_custom_rates(self, capsys):
+        assert main(["fig4", "--io-rate", "50", "--cpu-rate", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "x_io" in out
+        assert "100.0%" in out
+
+    def test_figure7_fluid_small(self, capsys):
+        assert main(
+            ["figure7", "--engine", "fluid", "--seeds", "1", "--max-pages", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "INTER-WITH-ADJ" in out
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "--workload", "Extreme", "--max-pages", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=INTER-WITH-ADJ" in out
+
+    def test_demo_sql(self, capsys):
+        assert main(["demo-sql", "SELECT count(*) FROM s1"]) == 0
+        assert "(" in capsys.readouterr().out
+
+    def test_demo_sql_error(self, capsys):
+        assert main(["demo-sql", "SELECT FROM"]) == 1
+        assert "SQL error" in capsys.readouterr().err
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Each example is executed as a subprocess (exactly how a user runs it)
+and its key output lines are checked, so documentation and code cannot
+drift apart silently.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Figure 7" in out
+    assert "INTER-WITH-ADJ" in out
+    assert "beats INTRA-ONLY" in out
+
+
+def test_bushy_optimizer():
+    out = run_example("bushy_optimizer.py")
+    assert "bushy/parcost" in out
+    assert "[blocking]" in out
+    assert "result rows" in out
+
+
+def test_multiuser_scheduling():
+    out = run_example("multiuser_scheduling.py")
+    assert "mean response" in out
+    assert "SJF" in out
+
+
+def test_multi_query_batch():
+    out = run_example("multi_query_batch.py")
+    assert "three-way-join" in out
+    assert "Batch elapsed" in out
+
+
+def test_real_parallel_scan():
+    out = run_example("real_parallel_scan.py")
+    assert "every page scanned exactly once" in out
+    assert "every key in [200, 899] fetched exactly once" in out
+
+
+def test_sql_to_schedule():
+    out = run_example("sql_to_schedule.py")
+    assert "Chosen plan" in out
+    assert "fragments (tasks)" in out
+    assert "Actual result rows" in out
+
+
+def test_xprs_system():
+    out = run_example("xprs_system.py")
+    assert "EXPLAIN of Q2" in out
+    assert "Predicted schedule" in out
+
+
+def test_every_example_has_a_test():
+    tested = {
+        "quickstart.py",
+        "bushy_optimizer.py",
+        "multiuser_scheduling.py",
+        "multi_query_batch.py",
+        "real_parallel_scan.py",
+        "sql_to_schedule.py",
+        "xprs_system.py",
+    }
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == tested, "examples and smoke tests are out of sync"

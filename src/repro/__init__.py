@@ -41,6 +41,7 @@ from .core import (
 from .errors import ReproError
 from .optimizer import JoinPredicate, OptimizerMode, Query, TwoPhaseOptimizer, parcost
 from .plans import fragment_plan
+from .service import QueryService, mixed_tenant_config, poisson_stream
 from .sim import FluidSimulator, MicroSimulator, ScanSpec, spec_for_io_rate
 from .sql import run_sql, translate as translate_sql
 from .system import ExplainReport, XprsSystem
@@ -61,6 +62,7 @@ __all__ = [
     "MicroSimulator",
     "OptimizerMode",
     "Query",
+    "QueryService",
     "ReproError",
     "ScanSpec",
     "ExplainReport",
@@ -81,8 +83,10 @@ __all__ = [
     "is_io_bound",
     "make_task",
     "max_parallelism",
+    "mixed_tenant_config",
     "paper_machine",
     "parcost",
+    "poisson_stream",
     "run_figure7",
     "run_sql",
     "spec_for_io_rate",

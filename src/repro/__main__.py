@@ -8,12 +8,22 @@ Commands:
 * ``fig4``      — a worked IO-CPU balance point.
 * ``gantt``     — schedule one workload and draw its Gantt chart.
 * ``demo-sql``  — build a demo database and run a SQL statement.
+* ``serve``     — serving mode: open arrival stream + admission control.
+
+Exit codes: ``0`` success, ``1`` command-specific failure, ``2`` bad
+arguments (argparse usage errors), ``3`` a :class:`~repro.errors.ReproError`
+escaped a command.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+#: Exit code for malformed command lines (argparse's own convention).
+EXIT_USAGE = 2
+#: Exit code when a command dies with a ReproError.
+EXIT_REPRO_ERROR = 3
 
 
 def _cmd_figure7(args: argparse.Namespace) -> int:
@@ -99,6 +109,99 @@ def _cmd_demo_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .config import paper_machine
+    from .service import (
+        QueryService,
+        admission_by_name,
+        estimate_capacity,
+        format_sweep,
+        format_timeline,
+        mixed_tenant_config,
+        onoff_stream,
+        poisson_stream,
+        sweep,
+    )
+
+    machine = paper_machine()
+    config = mixed_tenant_config(args.n)
+    service = QueryService(
+        machine,
+        admission=admission_by_name(args.admission),
+        queue_capacity=args.queue_cap,
+        max_inflight_fragments=args.inflight,
+        timeline_bucket=args.bucket,
+    )
+
+    def stream_factory(rate, seed, cfg, mach):
+        if args.arrivals == "onoff":
+            return onoff_stream(
+                rate=rate,
+                seed=seed,
+                on_fraction=args.on_fraction,
+                period=args.period,
+                config=cfg,
+                machine=mach,
+            )
+        return poisson_stream(rate=rate, seed=seed, config=cfg, machine=mach)
+
+    if args.smoke:
+        # A deterministic end-to-end trace (well under two seconds of
+        # wall clock): fixed seed, fixed mix, prints one line per
+        # submission and fails if nothing completed.
+        stream = poisson_stream(
+            rate=0.2, seed=0, config=mixed_tenant_config(10), machine=machine
+        )
+        result = service.run(stream)
+        for outcome in result.outcomes:
+            line = (
+                f"t={outcome.submission.arrival_time:8.2f}  "
+                f"{outcome.submission.name:<4s} {outcome.submission.tenant:<5s} "
+                f"{outcome.status}"
+            )
+            if outcome.status == "completed":
+                line += f"  response={outcome.response_time:.2f}s"
+            print(line)
+        completed = result.metrics.overall.completed
+        print(f"smoke: {completed}/{len(stream)} completed in {result.elapsed:.2f}s simulated")
+        if completed == 0:
+            print("smoke failed: no submissions completed", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.sweep:
+        points = sweep(
+            rhos=tuple(args.rho_points),
+            seed=args.seed,
+            config=config,
+            machine=machine,
+            service=service,
+            stream_factory=stream_factory,
+        )
+        print(
+            format_sweep(
+                points,
+                title=f"latency-vs-throughput knee ({args.admission} admission, "
+                f"{args.arrivals} arrivals, seed {args.seed})",
+            )
+        )
+        return 0
+
+    rate = args.rate
+    if rate is None:
+        mu = estimate_capacity(
+            seed=args.seed, config=config, machine=machine, service=service
+        )
+        rate = args.rho * mu
+    stream = stream_factory(rate, args.seed, config, machine)
+    result = service.run(stream)
+    print(result.metrics.to_table())
+    if args.bucket is not None:
+        print()
+        print(format_timeline(result.metrics.utilization_timeline))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -143,13 +246,91 @@ def build_parser() -> argparse.ArgumentParser:
     demo_sql.add_argument("sql", help="a SELECT statement")
     demo_sql.add_argument("--max-rows", type=int, default=20)
     demo_sql.set_defaults(func=_cmd_demo_sql)
+
+    serve = commands.add_parser(
+        "serve", help="serving mode: open arrivals + admission control"
+    )
+    serve.add_argument(
+        "--admission", choices=("balance", "fifo"), default="balance"
+    )
+    serve.add_argument(
+        "--arrivals", choices=("poisson", "onoff"), default="poisson"
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered load λ in submissions/s (default: --rho × measured μ)",
+    )
+    serve.add_argument(
+        "--rho",
+        type=float,
+        default=0.8,
+        help="offered load as a fraction of measured capacity μ",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--n", type=int, default=80, help="stream length")
+    serve.add_argument(
+        "--queue-cap", type=int, default=20, help="per-tenant queue bound"
+    )
+    serve.add_argument(
+        "--inflight",
+        type=int,
+        default=2,
+        help="max admitted-but-unfinished fragments",
+    )
+    serve.add_argument(
+        "--on-fraction", type=float, default=0.4, help="onoff: ON fraction"
+    )
+    serve.add_argument(
+        "--period", type=float, default=120.0, help="onoff: cycle seconds"
+    )
+    serve.add_argument(
+        "--bucket",
+        type=float,
+        default=None,
+        help="utilization-timeline bucket seconds (omit to skip)",
+    )
+    serve.add_argument(
+        "--sweep",
+        action="store_true",
+        help="sweep offered load and print the knee table",
+    )
+    serve.add_argument(
+        "--rho-points",
+        type=float,
+        nargs="+",
+        default=[0.4, 0.6, 0.8, 0.9, 1.0, 1.2],
+        help="ρ points of --sweep",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick deterministic end-to-end trace",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    """CLI entry point; returns the process exit code.
+
+    Usage errors exit with :data:`EXIT_USAGE` (2); a
+    :class:`~repro.errors.ReproError` escaping a command exits with
+    :data:`EXIT_REPRO_ERROR` (3) — distinct codes so scripts can tell
+    a mistyped flag from a failed run.
+    """
+    from .errors import ReproError
+
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else EXIT_USAGE
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_REPRO_ERROR
 
 
 if __name__ == "__main__":

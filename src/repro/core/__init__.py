@@ -34,6 +34,7 @@ from .schedulers import (
     InterWithoutAdjPolicy,
     IntraOnlyPolicy,
     SchedulingPolicy,
+    Shed,
     Start,
     policy_by_name,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "InterWithoutAdjPolicy",
     "IntraOnlyPolicy",
     "SchedulingPolicy",
+    "Shed",
     "Start",
     "Task",
     "balance_point",

@@ -52,7 +52,19 @@ class Adjust:
     parallelism: float
 
 
-Action = Start | Adjust
+@dataclass(frozen=True)
+class Shed:
+    """Drop a *pending* task without running it (admission load-shedding).
+
+    Emitted by the serving layer's admission gate when a submission is
+    rejected; the engine removes the task from its pending set and
+    records it as shed instead of completed.
+    """
+
+    task: Task
+
+
+Action = Start | Adjust | Shed
 
 
 class RunningTaskView(Protocol):
@@ -71,6 +83,10 @@ class EngineState(Protocol):
     """What a policy may observe about the engine."""
 
     machine: MachineConfig
+
+    #: Ids of tasks that already completed (both engines expose this;
+    #: the admission gate uses it to count in-flight fragments).
+    completed_ids: set[int]
 
     @property
     def now(self) -> float: ...

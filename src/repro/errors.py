@@ -126,3 +126,42 @@ class SimulationError(ReproError):
 
 class ProtocolError(ReproError):
     """A master/slave message violated the adjustment protocol."""
+
+
+# --------------------------------------------------------------------------
+# serving
+
+
+class ServiceError(ReproError):
+    """Base class for query-service (serving mode) errors."""
+
+
+class ServiceOverloadError(ServiceError):
+    """A submission was rejected because its tenant queue was full.
+
+    Attributes:
+        submission_id: id of the rejected submission.
+        tenant: the tenant whose queue overflowed.
+    """
+
+    def __init__(self, submission_id: int, tenant: str) -> None:
+        super().__init__(
+            f"submission {submission_id} rejected: queue full for tenant {tenant!r}"
+        )
+        self.submission_id = submission_id
+        self.tenant = tenant
+
+
+class AdmissionError(ServiceError):
+    """The admission controller reached an inconsistent state.
+
+    Attributes:
+        submission_id: id of the submission the controller choked on,
+            or ``-1`` when the error is not about one submission (the
+            id is then left out of the message).
+    """
+
+    def __init__(self, submission_id: int, reason: str) -> None:
+        prefix = f"submission {submission_id}: " if submission_id >= 0 else ""
+        super().__init__(prefix + reason)
+        self.submission_id = submission_id

@@ -12,6 +12,7 @@ from .multiquery import (
     MultiQueryScheduler,
     QueryOutcome,
     QuerySubmission,
+    rewire_dependencies,
 )
 from .parcost import ParallelCost, parallel_cost, parcost
 from .query import JoinPredicate, Query
@@ -35,4 +36,5 @@ __all__ = [
     "join_candidates",
     "parallel_cost",
     "parcost",
+    "rewire_dependencies",
 ]

@@ -137,14 +137,25 @@ class MultiQueryScheduler:
                 plan, self.catalog, cost_model=self.cost_model, machine=self.machine
             )
             fragments = fragment_plan(plan, estimate)
-            tasks = [
+            named = [
                 fragment.to_task(
                     name=f"{submission.name}/frag{fragment.fragment_id}"
-                ).with_arrival(submission.arrival_time)
+                )
                 for fragment in fragments.fragments
             ]
+            id_by_fragment = {
+                fragment.fragment_id: task.task_id
+                for fragment, task in zip(fragments.fragments, named)
+            }
+            wired = [
+                task.with_dependencies(
+                    id_by_fragment[d] for d in fragment.depends_on
+                )
+                for fragment, task in zip(fragments.fragments, named)
+            ]
             # with_arrival re-keys ids, so re-wire the dependencies.
-            tasks = _rewire(fragments, tasks)
+            arrived = [t.with_arrival(submission.arrival_time) for t in wired]
+            tasks = rewire_dependencies(wired, arrived)
             outcomes.append(
                 QueryOutcome(
                     submission=submission,
@@ -177,15 +188,46 @@ class MultiQueryScheduler:
         return MultiQueryResult(outcomes=outcomes, schedule=schedule)
 
 
-def _rewire(fragments: FragmentGraph, tasks: list[Task]) -> list[Task]:
-    """Re-attach fragment dependencies after task ids changed."""
-    id_by_fragment = {
-        fragment.fragment_id: task.task_id
-        for fragment, task in zip(fragments.fragments, tasks)
-    }
-    return [
-        task.with_dependencies(
-            id_by_fragment[d] for d in fragment.depends_on
+def rewire_dependencies(
+    originals: Sequence[Task], rekeyed: Sequence[Task]
+) -> list[Task]:
+    """Re-attach intra-batch dependencies after task ids changed.
+
+    :meth:`~repro.core.task.Task.with_arrival` returns a copy with a
+    *fresh* ``task_id``, which orphans every ``depends_on`` edge between
+    tasks of the same batch.  Given the original tasks and their
+    positionally matching re-keyed copies, this rewrites each copy's
+    dependencies in terms of the new ids.  Both the multi-query batch
+    pipeline and the serving layer
+    (:mod:`repro.service`) stamp arrival times this way.
+
+    Args:
+        originals: tasks whose ``depends_on`` sets reference ids within
+            ``originals`` itself.
+        rekeyed: the same tasks, in the same order, after an
+            id-re-keying copy such as ``with_arrival``.
+
+    Raises:
+        OptimizerError: on a length mismatch or a dependency pointing
+            outside the batch.
+    """
+    if len(originals) != len(rekeyed):
+        raise OptimizerError(
+            "rewire_dependencies: originals and rekeyed differ in length "
+            f"({len(originals)} vs {len(rekeyed)})"
         )
-        for fragment, task in zip(fragments.fragments, tasks)
-    ]
+    new_id = {
+        original.task_id: copy.task_id
+        for original, copy in zip(originals, rekeyed)
+    }
+    rewired: list[Task] = []
+    for original, copy in zip(originals, rekeyed):
+        try:
+            deps = [new_id[d] for d in original.depends_on]
+        except KeyError as missing:
+            raise OptimizerError(
+                f"task {original.name!r} depends on id {missing.args[0]} "
+                "which is not part of the batch"
+            ) from None
+        rewired.append(copy.with_dependencies(deps))
+    return rewired

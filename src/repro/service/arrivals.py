@@ -1,0 +1,317 @@
+"""Open-loop arrival processes over the Section-3 workload mixes.
+
+The closed batch of ``optimizer/multiquery.py`` answers "how fast does
+this fixed set finish"; the serving-mode questions — throughput
+ceilings, tail latency, overload — need an *open* system where work
+keeps arriving regardless of progress.  This module turns the existing
+:mod:`repro.workloads` mixes into deterministic submission streams:
+
+* :func:`poisson_stream` — memoryless arrivals at offered rate λ
+  (exponential inter-arrival times), the standard open-loop model;
+* :func:`onoff_stream` — a bursty on-off (interrupted Poisson)
+  process: ON periods arriving at a boosted rate alternate with silent
+  OFF gaps, stressing the admission queue far harder than the same
+  average λ spread evenly.
+
+Both are seeded and fully deterministic: the same ``(seed, λ, mix)``
+always yields byte-identical streams.  Each submission bundles one or
+more tasks drawn from the mix; multi-task bundles are chained with
+order-dependencies (fragment pipelines), and arrival stamping re-keys
+task ids, so dependencies are re-wired with
+:func:`repro.optimizer.rewire_dependencies` — the same helper the
+multi-query batch pipeline uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MachineConfig, paper_machine
+from ..core.balance import intra_time
+from ..errors import ConfigError
+from ..optimizer.multiquery import rewire_dependencies
+from ..workloads import RateBands, WorkloadConfig, WorkloadKind, generate_tasks
+from .queue import ServiceSubmission
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Knobs of the submission-stream generators.
+
+    Attributes:
+        kind: which Section-3 mix the tasks are drawn from.
+        n_submissions: length of the stream.
+        tenants: tenant labels, assigned in blocks of ``tenant_block``
+            consecutive submissions.
+        tenant_kinds: optional per-tenant workload kinds (positionally
+            matching ``tenants``); lets one tenant submit IO-heavy
+            scans while another submits CPU-heavy joins — the *mixed*
+            multi-tenant traffic balance-aware admission exists for.
+            ``None`` draws every tenant from ``kind``.
+        tenant_bands: optional per-tenant io-rate bands (positionally
+            matching ``tenants``), e.g. the Section-3 *extreme* bands
+            for an ETL tenant; ``None`` uses the default bands.
+        tenant_max_pages: optional per-tenant task-length caps
+            (positionally matching ``tenants``).  A task's sequential
+            time is roughly ``pages / io_rate``, so at equal page
+            counts a CPU-bound tenant (low rate) submits far *longer*
+            tasks than an IO-bound one; per-tenant caps let the two
+            classes carry comparable work.  ``None`` uses
+            ``max_pages`` for every tenant.
+        tenant_block: consecutive submissions per tenant before
+            rotating to the next.  1 interleaves tenants perfectly;
+            larger values model the bursty reality where one tenant's
+            jobs arrive back-to-back.
+        max_bundle: largest number of fragments per submission
+            (bundle sizes are drawn uniformly from ``[1, max_bundle]``).
+        chain_fragments: wire each bundle as a dependency chain
+            (fragment pipelines) rather than independent fragments.
+        slo_stretch: response-time SLO as a multiple of the
+            submission's ideal service time (the sum of its fragments'
+            ``T_intra`` run alone); ``None`` disables SLO tagging.
+        max_pages: per-task length cap forwarded to the mix generator.
+    """
+
+    kind: WorkloadKind = WorkloadKind.RANDOM
+    n_submissions: int = 50
+    tenants: tuple[str, ...] = ("t0", "t1")
+    tenant_kinds: tuple[WorkloadKind, ...] | None = None
+    tenant_bands: tuple[RateBands, ...] | None = None
+    tenant_max_pages: tuple[int, ...] | None = None
+    tenant_block: int = 1
+    max_bundle: int = 2
+    chain_fragments: bool = True
+    slo_stretch: float | None = 6.0
+    max_pages: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.n_submissions < 1:
+            raise ConfigError("n_submissions must be >= 1")
+        if not self.tenants:
+            raise ConfigError("at least one tenant is required")
+        if self.tenant_kinds is not None and len(self.tenant_kinds) != len(
+            self.tenants
+        ):
+            raise ConfigError("tenant_kinds must match tenants in length")
+        if self.tenant_bands is not None and len(self.tenant_bands) != len(
+            self.tenants
+        ):
+            raise ConfigError("tenant_bands must match tenants in length")
+        if self.tenant_max_pages is not None:
+            if len(self.tenant_max_pages) != len(self.tenants):
+                raise ConfigError(
+                    "tenant_max_pages must match tenants in length"
+                )
+            if any(p < 1 for p in self.tenant_max_pages):
+                raise ConfigError("tenant_max_pages entries must be >= 1")
+        if self.tenant_block < 1:
+            raise ConfigError("tenant_block must be >= 1")
+        if self.max_bundle < 1:
+            raise ConfigError("max_bundle must be >= 1")
+        if self.slo_stretch is not None and self.slo_stretch <= 0:
+            raise ConfigError("slo_stretch must be positive")
+
+    def tenant_of(self, index: int) -> int:
+        """Tenant index of the ``index``-th submission (block rotation)."""
+        return (index // self.tenant_block) % len(self.tenants)
+
+    def kind_of(self, tenant_index: int) -> WorkloadKind:
+        """Workload kind a tenant draws its tasks from."""
+        if self.tenant_kinds is None:
+            return self.kind
+        return self.tenant_kinds[tenant_index]
+
+    def bands_of(self, tenant_index: int) -> RateBands:
+        """Io-rate bands a tenant draws its tasks from."""
+        if self.tenant_bands is None:
+            return RateBands()
+        return self.tenant_bands[tenant_index]
+
+    def max_pages_of(self, tenant_index: int) -> int:
+        """Task-length cap (pages) for a tenant's drawn tasks."""
+        if self.tenant_max_pages is None:
+            return self.max_pages
+        return self.tenant_max_pages[tenant_index]
+
+
+def mixed_tenant_config(n_submissions: int = 80) -> ArrivalConfig:
+    """The two-tenant ETL/OLAP mix the serving benchmarks use.
+
+    An *etl* tenant submits extremely IO-bound scans and an *olap*
+    tenant submits nearly-pure CPU-bound joins, in blocks of five
+    back-to-back submissions per tenant.  Three properties make this
+    the canonical stress mix for balance-aware admission:
+
+    * same-class bursts — a FIFO gate admits whole blocks of one class,
+      leaving the scheduler nothing to pair;
+    * nearly-pure CPU tasks (io rate 2-6) — pairing them with an
+      extreme-IO scan steals almost no disk bandwidth, so cross-class
+      overlap is nearly free (an io rate near the ``B/N`` threshold
+      would slow the IO class instead);
+    * per-tenant page caps sized so both classes carry comparable
+      sequential work (``seq_time ≈ pages / io_rate``), keeping
+      cross-class pairing available through most of the timeline.
+    """
+    return ArrivalConfig(
+        n_submissions=n_submissions,
+        tenants=("etl", "olap"),
+        tenant_kinds=(WorkloadKind.ALL_IO, WorkloadKind.ALL_CPU),
+        tenant_bands=(
+            RateBands(io_low=52.0, io_high=58.0),
+            RateBands(cpu_low=2.0, cpu_high=6.0),
+        ),
+        tenant_max_pages=(2000, 180),
+        tenant_block=5,
+        max_bundle=1,
+    )
+
+
+def _build_submissions(
+    arrival_times: list[float],
+    *,
+    config: ArrivalConfig,
+    machine: MachineConfig,
+    seed: int,
+) -> list[ServiceSubmission]:
+    """Bundle mix tasks and stamp one arrival time per submission."""
+    rng = np.random.default_rng(seed)
+    sizes = [
+        int(rng.integers(1, config.max_bundle + 1))
+        for __ in range(len(arrival_times))
+    ]
+    # One task pool per tenant so each tenant can draw from its own
+    # workload kind; pool seeds are derived deterministically.
+    needed = [0] * len(config.tenants)
+    for i, size in enumerate(sizes):
+        needed[config.tenant_of(i)] += size
+    pools = [
+        generate_tasks(
+            config.kind_of(t),
+            seed=seed + 7919 * t,
+            machine=machine,
+            config=WorkloadConfig(
+                n_tasks=max(count, 1),
+                min_pages=min(100, config.max_pages_of(t)),
+                max_pages=config.max_pages_of(t),
+                bands=config.bands_of(t),
+            ),
+        )
+        for t, count in enumerate(needed)
+    ]
+    cursors = [0] * len(config.tenants)
+    submissions: list[ServiceSubmission] = []
+    for i, (arrival, size) in enumerate(zip(arrival_times, sizes)):
+        tenant_index = config.tenant_of(i)
+        cursor = cursors[tenant_index]
+        bundle = pools[tenant_index][cursor : cursor + size]
+        cursors[tenant_index] = cursor + size
+        if config.chain_fragments:
+            bundle = [
+                task
+                if j == 0
+                else task.with_dependencies({bundle[j - 1].task_id})
+                for j, task in enumerate(bundle)
+            ]
+        stamped = rewire_dependencies(
+            bundle, [t.with_arrival(arrival) for t in bundle]
+        )
+        deadline = None
+        if config.slo_stretch is not None:
+            ideal = sum(intra_time(t, machine) for t in stamped)
+            deadline = arrival + config.slo_stretch * ideal
+        submissions.append(
+            ServiceSubmission(
+                name=f"q{i}",
+                tenant=config.tenants[tenant_index],
+                tasks=tuple(stamped),
+                arrival_time=arrival,
+                deadline=deadline,
+            )
+        )
+    return submissions
+
+
+def poisson_stream(
+    *,
+    rate: float,
+    seed: int,
+    config: ArrivalConfig | None = None,
+    machine: MachineConfig | None = None,
+) -> list[ServiceSubmission]:
+    """A Poisson arrival stream of submissions at offered rate λ.
+
+    Args:
+        rate: offered load λ in submissions/second (must be positive).
+        seed: RNG seed; the stream is a pure function of
+            ``(seed, rate, config)``.
+        config: stream shape knobs.
+        machine: machine the tasks are calibrated against.
+    """
+    if rate <= 0:
+        raise ConfigError("arrival rate must be positive")
+    config = config or ArrivalConfig()
+    machine = machine or paper_machine()
+    rng = np.random.default_rng(seed)
+    clock = 0.0
+    arrivals: list[float] = []
+    for __ in range(config.n_submissions):
+        clock += float(rng.exponential(1.0 / rate))
+        arrivals.append(clock)
+    return _build_submissions(
+        arrivals, config=config, machine=machine, seed=seed
+    )
+
+
+def onoff_stream(
+    *,
+    rate: float,
+    seed: int,
+    on_fraction: float = 0.5,
+    period: float = 20.0,
+    config: ArrivalConfig | None = None,
+    machine: MachineConfig | None = None,
+) -> list[ServiceSubmission]:
+    """A bursty on-off (interrupted Poisson) stream averaging rate λ.
+
+    Time alternates between ON windows of length
+    ``on_fraction * period`` and silent OFF windows; during ON windows
+    arrivals are Poisson at ``rate / on_fraction``, so the long-run
+    average offered load is still λ while the instantaneous load during
+    bursts exceeds it by ``1 / on_fraction`` — stressing the admission
+    queue far harder than the same λ spread evenly.
+
+    Args:
+        rate: long-run average offered rate λ (submissions/second).
+        seed: RNG seed (deterministic stream).
+        on_fraction: fraction of each period that is ON, in (0, 1];
+            smaller values mean burstier traffic.
+        period: seconds per ON+OFF cycle.
+        config: stream shape knobs.
+        machine: machine the tasks are calibrated against.
+    """
+    if rate <= 0:
+        raise ConfigError("arrival rate must be positive")
+    if not 0.0 < on_fraction <= 1.0:
+        raise ConfigError("on_fraction must be in (0, 1]")
+    if period <= 0:
+        raise ConfigError("period must be positive")
+    config = config or ArrivalConfig()
+    machine = machine or paper_machine()
+    rng = np.random.default_rng(seed)
+    on_len = on_fraction * period
+    burst_rate = rate / on_fraction
+    clock = 0.0
+    arrivals: list[float] = []
+    while len(arrivals) < config.n_submissions:
+        clock += float(rng.exponential(1.0 / burst_rate))
+        # Skip OFF windows: fold the clock forward to the next ON window.
+        phase = clock % period
+        if phase > on_len:
+            clock += period - phase
+            continue
+        arrivals.append(clock)
+    return _build_submissions(
+        arrivals, config=config, machine=machine, seed=seed
+    )

@@ -1,0 +1,221 @@
+"""Per-tenant and global serving metrics.
+
+The serving mode is judged the way an online system is: counters
+(offered / admitted / rejected / completed), response-time percentiles
+(p50/p95/p99), SLO-miss rate and resource-utilization over time — not
+the closed-batch makespan the Figure-7 experiments report.  Everything
+here is plain deterministic arithmetic over the simulator trace, so a
+metrics table is a pure function of ``(seed, λ, mix)`` and can be
+diffed byte-for-byte across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench.report import format_table
+from ..errors import ServiceError
+from ..sim.fluid import ScheduleResult
+
+
+def percentile(values: list[float], p: float) -> float:
+    """The ``p``-th percentile by linear interpolation (deterministic).
+
+    Matches numpy's default ``linear`` method but avoids float-platform
+    drift by staying in pure python.  ``p`` is in ``[0, 100]``.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ServiceError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass
+class TenantMetrics:
+    """Counters and response-time digest for one tenant."""
+
+    tenant: str
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    slo_tagged: int = 0
+    slo_misses: int = 0
+    response_times: list[float] = field(default_factory=list)
+
+    @property
+    def p50(self) -> float:
+        """Median response time of completed submissions."""
+        return percentile(self.response_times, 50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile response time."""
+        return percentile(self.response_times, 95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile response time."""
+        return percentile(self.response_times, 99.0)
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean response time of completed submissions."""
+        if not self.response_times:
+            return 0.0
+        return sum(self.response_times) / len(self.response_times)
+
+    @property
+    def slo_miss_rate(self) -> float:
+        """Fraction of SLO-tagged completions that missed their deadline."""
+        if self.slo_tagged == 0:
+            return 0.0
+        return self.slo_misses / self.slo_tagged
+
+
+@dataclass
+class ServiceMetrics:
+    """Global serving metrics plus the per-tenant breakdown."""
+
+    admission_name: str
+    elapsed: float
+    tenants: dict[str, TenantMetrics]
+    cpu_utilization: float
+    io_utilization: float
+    utilization_timeline: list[tuple[float, float, float]] = field(
+        default_factory=list
+    )
+
+    def _totals(self) -> TenantMetrics:
+        total = TenantMetrics(tenant="all")
+        for tm in self.tenants.values():
+            total.offered += tm.offered
+            total.admitted += tm.admitted
+            total.rejected += tm.rejected
+            total.completed += tm.completed
+            total.slo_tagged += tm.slo_tagged
+            total.slo_misses += tm.slo_misses
+            total.response_times.extend(tm.response_times)
+        return total
+
+    @property
+    def overall(self) -> TenantMetrics:
+        """All tenants folded into one digest."""
+        return self._totals()
+
+    @property
+    def throughput(self) -> float:
+        """Completed submissions per second of simulated time."""
+        total = self._totals()
+        return total.completed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def to_table(self) -> str:
+        """The per-tenant metrics table (plus an ``all`` summary row)."""
+        rows = []
+        tenant_rows = sorted(self.tenants)
+        for name in tenant_rows:
+            rows.append(self._row(self.tenants[name]))
+        rows.append(self._row(self._totals()))
+        return format_table(
+            [
+                "tenant",
+                "offered",
+                "admitted",
+                "rejected",
+                "completed",
+                "p50 (s)",
+                "p95 (s)",
+                "p99 (s)",
+                "SLO miss",
+            ],
+            rows,
+            title=(
+                f"service metrics — admission={self.admission_name}, "
+                f"elapsed={self.elapsed:.2f}s, "
+                f"throughput={self.throughput:.3f}/s, "
+                f"cpu={self.cpu_utilization:.1%}, io={self.io_utilization:.1%}"
+            ),
+        )
+
+    @staticmethod
+    def _row(tm: TenantMetrics) -> list[str]:
+        return [
+            tm.tenant,
+            str(tm.offered),
+            str(tm.admitted),
+            str(tm.rejected),
+            str(tm.completed),
+            f"{tm.p50:.3f}",
+            f"{tm.p95:.3f}",
+            f"{tm.p99:.3f}",
+            f"{tm.slo_miss_rate:.1%}",
+        ]
+
+
+def utilization_timeline(
+    result: ScheduleResult, *, bucket: float = 1.0
+) -> list[tuple[float, float, float]]:
+    """Bucketed ``(t, cpu_fraction, io_fraction)`` utilization series.
+
+    Rebuilds allocation over time from each task's parallelism history:
+    within a bucket, a task contributes its allocated processors
+    (capped at machine capacity in aggregate) and its io demand
+    ``C_i * x`` capped at the nominal bandwidth ``B``.  The series is a
+    diagnostic view (the engine's utilization integrals are exact); it
+    shows *when* the machine was saturated, not just how much on
+    average.
+    """
+    if bucket <= 0:
+        raise ServiceError("bucket must be positive")
+    machine = result.machine
+    if result.elapsed <= 0:
+        return []
+    n_buckets = int(result.elapsed / bucket) + 1
+    cpu = [0.0] * n_buckets
+    io = [0.0] * n_buckets
+    for record in result.records:
+        history = list(record.parallelism_history)
+        for i, (start, x) in enumerate(history):
+            end = (
+                history[i + 1][0]
+                if i + 1 < len(history)
+                else record.finished_at
+            )
+            first = int(start / bucket)
+            last = int(min(end, result.elapsed - 1e-12) / bucket)
+            for b in range(first, min(last, n_buckets - 1) + 1):
+                b_start = max(start, b * bucket)
+                b_end = min(end, (b + 1) * bucket)
+                overlap = max(0.0, b_end - b_start)
+                cpu[b] += x * overlap
+                io[b] += record.task.io_rate * x * overlap
+    series = []
+    for b in range(n_buckets):
+        width = min(bucket, max(result.elapsed - b * bucket, 0.0))
+        if width <= 0:
+            continue
+        cpu_frac = min(1.0, cpu[b] / (machine.processors * width))
+        io_frac = min(1.0, io[b] / (machine.io_bandwidth * width))
+        series.append((b * bucket, cpu_frac, io_frac))
+    return series
+
+
+def format_timeline(series: list[tuple[float, float, float]]) -> str:
+    """Render a utilization timeline as a fixed-width text strip chart."""
+    rows = [
+        (f"{t:.0f}", f"{cpu:.0%}", f"{io:.0%}", "#" * round(cpu * 20), "+" * round(io * 20))
+        for t, cpu, io in series
+    ]
+    return format_table(
+        ["t (s)", "cpu", "io", "cpu bar", "io bar"],
+        rows,
+        title="utilization timeline",
+    )

@@ -1,0 +1,154 @@
+"""Bounded per-tenant admission queues with backpressure.
+
+A :class:`ServiceSubmission` is one user query entering the open
+system: a small bundle of scheduler tasks (the query's plan fragments)
+plus an arrival time, a tenant label and an optional response-time SLO.
+Submissions wait in per-tenant bounded FIFO queues until the admission
+controller (:mod:`repro.service.admission`) releases them to the
+scheduler.  A full queue *sheds load*: the offer raises
+:class:`~repro.errors.ServiceOverloadError` and the submission is never
+executed — the open-system analogue of the closed batch in
+``optimizer/multiquery.py``, where every query always runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.task import Task
+from ..errors import AdmissionError, ServiceOverloadError
+
+_submission_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class ServiceSubmission:
+    """One query entering the service.
+
+    Attributes:
+        name: human-readable label used in traces and metrics.
+        tenant: owning tenant; each tenant has its own bounded queue.
+        tasks: the query's plan fragments as scheduler tasks.  Their
+            ``depends_on`` edges must stay within the bundle and their
+            ``arrival_time`` must equal :attr:`arrival_time` (use
+            :meth:`repro.optimizer.rewire_dependencies` after stamping).
+        arrival_time: when the submission reaches the service (seconds).
+        deadline: absolute response-time SLO deadline, or ``None`` when
+            the submission carries no SLO.
+        submission_id: unique id, auto-assigned.
+    """
+
+    name: str
+    tenant: str
+    tasks: tuple[Task, ...]
+    arrival_time: float = 0.0
+    deadline: float | None = None
+    submission_id: int = field(default_factory=lambda: next(_submission_ids))
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise AdmissionError(self.submission_id, "submission has no tasks")
+        if self.arrival_time < 0:
+            raise AdmissionError(
+                self.submission_id, "arrival_time must be >= 0"
+            )
+        if self.deadline is not None and self.deadline < self.arrival_time:
+            raise AdmissionError(
+                self.submission_id, "deadline precedes the arrival time"
+            )
+
+    @property
+    def n_fragments(self) -> int:
+        """Number of plan fragments (scheduler tasks) in the bundle."""
+        return len(self.tasks)
+
+    @property
+    def total_seq_time(self) -> float:
+        """Total sequential work across the bundle, in seconds."""
+        return sum(t.seq_time for t in self.tasks)
+
+    @property
+    def total_io_count(self) -> float:
+        """Total io requests issued by the bundle."""
+        return sum(t.io_count for t in self.tasks)
+
+    @property
+    def io_rate(self) -> float:
+        """Aggregate io rate ``sum(D_i) / sum(T_i)`` of the bundle.
+
+        The submission-level analogue of the paper's per-task
+        ``C_i = D_i / T_i``; the balance-aware admission policy
+        classifies waiting submissions with it.
+        """
+        total = self.total_seq_time
+        return self.total_io_count / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class QueuedSubmission:
+    """Book-keeping wrapper for a submission waiting in a queue."""
+
+    submission: ServiceSubmission
+    enqueued_at: float
+
+
+class AdmissionQueue:
+    """Per-tenant bounded FIFO queues feeding the admission controller.
+
+    Args:
+        capacity_per_tenant: maximum submissions waiting per tenant;
+            an offer beyond this sheds load with
+            :class:`~repro.errors.ServiceOverloadError`.
+    """
+
+    def __init__(self, capacity_per_tenant: int) -> None:
+        if capacity_per_tenant < 1:
+            raise AdmissionError(-1, "capacity_per_tenant must be >= 1")
+        self.capacity_per_tenant = capacity_per_tenant
+        self._queues: dict[str, list[QueuedSubmission]] = {}
+        self._order = itertools.count()
+        self._seq: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, tenant: str) -> int:
+        """Submissions currently waiting for one tenant."""
+        return len(self._queues.get(tenant, []))
+
+    def offer(self, submission: ServiceSubmission, now: float) -> None:
+        """Enqueue ``submission``; shed it when the tenant queue is full.
+
+        Raises:
+            ServiceOverloadError: the tenant's queue is at capacity.
+        """
+        queue = self._queues.setdefault(submission.tenant, [])
+        if len(queue) >= self.capacity_per_tenant:
+            raise ServiceOverloadError(
+                submission.submission_id, submission.tenant
+            )
+        self._seq[submission.submission_id] = next(self._order)
+        queue.append(QueuedSubmission(submission=submission, enqueued_at=now))
+
+    def waiting(self) -> list[QueuedSubmission]:
+        """All waiting submissions in global arrival (FIFO) order."""
+        entries = [
+            entry for queue in self._queues.values() for entry in queue
+        ]
+        entries.sort(key=lambda e: self._seq[e.submission.submission_id])
+        return entries
+
+    def take(self, submission_id: int) -> ServiceSubmission:
+        """Remove and return one waiting submission by id.
+
+        Raises:
+            AdmissionError: the id is not waiting in any queue.
+        """
+        for queue in self._queues.values():
+            for i, entry in enumerate(queue):
+                if entry.submission.submission_id == submission_id:
+                    del queue[i]
+                    self._seq.pop(submission_id, None)
+                    return entry.submission
+        raise AdmissionError(submission_id, "not waiting in any queue")

@@ -1,0 +1,399 @@
+"""The online serving loop: admission gate + scheduler + engine.
+
+:class:`QueryService` turns the closed-batch pipeline into an open
+system.  Submissions arrive over time (see
+:mod:`repro.service.arrivals`), wait in bounded per-tenant queues, and
+are *admitted* into the scheduler a few at a time by an
+:class:`~repro.service.admission.AdmissionPolicy`.  Execution is driven
+by the existing :class:`~repro.sim.fluid.FluidSimulator` with the
+existing :class:`~repro.core.schedulers.InterWithAdjPolicy` unchanged:
+the service wraps it in an admission *gate* — a
+:class:`~repro.core.schedulers.SchedulingPolicy` that
+
+1. offers newly arrived submissions to the tenant queues, shedding
+   load (:class:`~repro.errors.ServiceOverloadError` →
+   :class:`~repro.core.schedulers.Shed` actions) when a queue is full;
+2. admits waiting submissions while the in-flight fragment budget
+   allows, using the configured admission policy to pick which one;
+3. delegates to the inner scheduling policy with a *gated view* of the
+   engine state whose pending set contains admitted fragments only.
+
+Because the gate runs inside the engine's event loop it reacts online
+to every arrival, completion and adjustment, exactly as a live
+admission controller would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import MachineConfig, paper_machine
+from ..core.schedulers import (
+    Action,
+    EngineState,
+    InterWithAdjPolicy,
+    SchedulingPolicy,
+    Shed,
+)
+from ..core.task import Task
+from ..errors import AdmissionError, ServiceOverloadError
+from ..sim.fluid import FluidSimulator, ScheduleResult
+from .admission import AdmissionPolicy, BalanceAwareAdmission
+from .metrics import ServiceMetrics, TenantMetrics, utilization_timeline
+from .queue import AdmissionQueue, ServiceSubmission
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SubmissionOutcome:
+    """What happened to one submission.
+
+    Attributes:
+        submission: the submission itself.
+        status: ``"completed"`` or ``"rejected"``.
+        admitted_at: when the gate released it to the scheduler
+            (``None`` if rejected).
+        finished_at: when its last fragment completed (``None`` if
+            rejected).
+        rejected_at: when it was shed (``None`` if it ran).
+    """
+
+    submission: ServiceSubmission
+    status: str
+    admitted_at: float | None = None
+    finished_at: float | None = None
+    rejected_at: float | None = None
+
+    @property
+    def response_time(self) -> float:
+        """Completion minus arrival; raises for rejected submissions."""
+        if self.finished_at is None:
+            raise AdmissionError(
+                self.submission.submission_id,
+                "rejected submissions have no response time",
+            )
+        return self.finished_at - self.submission.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Seconds spent waiting for admission."""
+        if self.admitted_at is None:
+            raise AdmissionError(
+                self.submission.submission_id,
+                "rejected submissions have no queueing delay",
+            )
+        return self.admitted_at - self.submission.arrival_time
+
+    @property
+    def slo_missed(self) -> bool:
+        """Did an SLO-tagged submission finish past its deadline?
+
+        Rejected SLO-tagged submissions count as misses: the service
+        failed to answer inside the deadline either way.
+        """
+        deadline = self.submission.deadline
+        if deadline is None:
+            return False
+        if self.finished_at is None:
+            return True
+        return self.finished_at > deadline
+
+
+@dataclass
+class ServiceResult:
+    """Full outcome of one service run."""
+
+    admission_name: str
+    outcomes: list[SubmissionOutcome]
+    schedule: ScheduleResult
+    metrics: ServiceMetrics
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds until the last admitted fragment finished."""
+        return self.schedule.elapsed
+
+    def outcome(self, name: str) -> SubmissionOutcome:
+        """The outcome of the submission labelled ``name``."""
+        for outcome in self.outcomes:
+            if outcome.submission.name == name:
+                return outcome
+        raise AdmissionError(-1, f"no submission named {name!r}")
+
+
+class _GatedView:
+    """Engine state restricted to admitted fragments.
+
+    The inner policy sees the true clock, machine and running set, but
+    only the admitted subset of pending tasks — everything else is
+    still waiting at the admission gate.
+    """
+
+    def __init__(self, state: EngineState, allowed: set[int]) -> None:
+        self._state = state
+        self._allowed = allowed
+        self.machine = state.machine
+        self.completed_ids = state.completed_ids
+
+    @property
+    def now(self) -> float:
+        return self._state.now
+
+    @property
+    def running(self):
+        return self._state.running
+
+    @property
+    def pending(self) -> list[Task]:
+        return [
+            t for t in self._state.pending if t.task_id in self._allowed
+        ]
+
+
+class AdmissionGate(SchedulingPolicy):
+    """The serving-mode policy wrapper (see the module docstring).
+
+    Args:
+        submissions: the full arrival stream, any order.
+        inner: the scheduling policy that places admitted fragments
+            (the paper's INTER-WITH-ADJ by default).
+        admission: queue-selection policy.
+        queue_capacity: bound of each tenant's waiting queue.
+        max_inflight_fragments: admitted-but-unfinished fragment budget;
+            when nothing is in flight one submission is always admitted
+            regardless, so an over-sized bundle cannot wedge the gate.
+    """
+
+    name = "ADMISSION-GATE"
+
+    def __init__(
+        self,
+        submissions: Sequence[ServiceSubmission],
+        *,
+        inner: SchedulingPolicy,
+        admission: AdmissionPolicy,
+        queue_capacity: int = 8,
+        max_inflight_fragments: int = 6,
+    ) -> None:
+        if max_inflight_fragments < 1:
+            raise AdmissionError(-1, "max_inflight_fragments must be >= 1")
+        self.inner = inner
+        self.admission = admission
+        self.queue_capacity = queue_capacity
+        self.max_inflight_fragments = max_inflight_fragments
+        self._stream = sorted(
+            submissions, key=lambda s: (s.arrival_time, s.submission_id)
+        )
+        names = [s.name for s in self._stream]
+        if len(set(names)) != len(names):
+            raise AdmissionError(-1, "duplicate submission names in stream")
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all gate state before a fresh run."""
+        self.inner.reset()
+        self._queue = AdmissionQueue(self.queue_capacity)
+        self._cursor = 0
+        self._allowed: set[int] = set()
+        self._inflight: dict[int, Task] = {}
+        self._by_submission: dict[int, ServiceSubmission] = {}
+        self.admitted_at: dict[int, float] = {}
+        self.rejected_at: dict[int, float] = {}
+
+    # -- gate steps --------------------------------------------------------------
+
+    def _offer_arrivals(self, state: EngineState) -> list[Action]:
+        """Queue submissions that arrived by now; shed on overflow."""
+        shed: list[Action] = []
+        while (
+            self._cursor < len(self._stream)
+            and self._stream[self._cursor].arrival_time <= state.now + _EPS
+        ):
+            submission = self._stream[self._cursor]
+            self._cursor += 1
+            try:
+                self._queue.offer(submission, state.now)
+            except ServiceOverloadError:
+                self.rejected_at[submission.submission_id] = state.now
+                shed.extend(Shed(task) for task in submission.tasks)
+        return shed
+
+    def _refresh_inflight(self, state: EngineState) -> None:
+        """Drop completed fragments from the in-flight set."""
+        done = [
+            task_id
+            for task_id in self._inflight
+            if task_id in state.completed_ids
+        ]
+        for task_id in done:
+            del self._inflight[task_id]
+
+    def _admit(self, state: EngineState) -> None:
+        """Release waiting submissions while the fragment budget allows."""
+        while True:
+            budget = self.max_inflight_fragments - len(self._inflight)
+            waiting = self._queue.waiting()
+            if not self._inflight:
+                # Never wedge: an empty machine always takes one query.
+                candidates = waiting
+            else:
+                candidates = [
+                    entry
+                    for entry in waiting
+                    if entry.submission.n_fragments <= budget
+                ]
+            if not candidates:
+                return
+            choice = self.admission.select(
+                candidates, list(self._inflight.values()), state.machine
+            )
+            if choice is None:
+                return
+            submission = self._queue.take(choice.submission_id)
+            self.admitted_at[submission.submission_id] = state.now
+            for task in submission.tasks:
+                self._allowed.add(task.task_id)
+                self._inflight[task.task_id] = task
+                self._by_submission[task.task_id] = submission
+
+    def decide(self, state: EngineState) -> list[Action]:
+        """One gate round: offer, admit, then let the scheduler place."""
+        actions = self._offer_arrivals(state)
+        self._refresh_inflight(state)
+        self._admit(state)
+        actions.extend(self.inner.decide(_GatedView(state, self._allowed)))
+        return actions
+
+
+class QueryService:
+    """An open multi-tenant query service over the fluid engine.
+
+    Args:
+        machine: machine configuration (defaults to the paper machine).
+        admission: admission policy (defaults to balance-aware).
+        scheduler: inner scheduling policy (defaults to the paper's
+            INTER-WITH-ADJ, unchanged).
+        queue_capacity: per-tenant waiting-queue bound.
+        max_inflight_fragments: admitted-but-unfinished fragment budget.
+        timeline_bucket: bucket width (seconds) of the utilization
+            timeline attached to the metrics; ``None`` skips it.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        *,
+        admission: AdmissionPolicy | None = None,
+        scheduler: SchedulingPolicy | None = None,
+        queue_capacity: int = 8,
+        max_inflight_fragments: int = 6,
+        timeline_bucket: float | None = None,
+    ) -> None:
+        self.machine = machine or paper_machine()
+        self.admission = admission or BalanceAwareAdmission()
+        self.scheduler = scheduler or InterWithAdjPolicy()
+        self.queue_capacity = queue_capacity
+        self.max_inflight_fragments = max_inflight_fragments
+        self.timeline_bucket = timeline_bucket
+
+    def run(
+        self, submissions: Sequence[ServiceSubmission]
+    ) -> ServiceResult:
+        """Serve one arrival stream to completion and digest the trace."""
+        if not submissions:
+            raise AdmissionError(-1, "empty submission stream")
+        gate = AdmissionGate(
+            submissions,
+            inner=self.scheduler,
+            admission=self.admission,
+            queue_capacity=self.queue_capacity,
+            max_inflight_fragments=self.max_inflight_fragments,
+        )
+        pooled = [task for s in submissions for task in s.tasks]
+        schedule = FluidSimulator(self.machine).run(pooled, gate)
+        outcomes = self._collect(submissions, gate, schedule)
+        metrics = self._digest(outcomes, schedule)
+        return ServiceResult(
+            admission_name=self.admission.name,
+            outcomes=outcomes,
+            schedule=schedule,
+            metrics=metrics,
+        )
+
+    # -- digestion ----------------------------------------------------------------
+
+    @staticmethod
+    def _collect(
+        submissions: Sequence[ServiceSubmission],
+        gate: AdmissionGate,
+        schedule: ScheduleResult,
+    ) -> list[SubmissionOutcome]:
+        finished: dict[int, float] = {}
+        for record in schedule.records:
+            finished[record.task.task_id] = record.finished_at
+        outcomes = []
+        for submission in sorted(
+            submissions, key=lambda s: (s.arrival_time, s.submission_id)
+        ):
+            sid = submission.submission_id
+            if sid in gate.rejected_at:
+                outcomes.append(
+                    SubmissionOutcome(
+                        submission=submission,
+                        status="rejected",
+                        rejected_at=gate.rejected_at[sid],
+                    )
+                )
+                continue
+            ends = [finished.get(t.task_id) for t in submission.tasks]
+            if any(e is None for e in ends):
+                raise AdmissionError(
+                    sid, "admitted submission did not run to completion"
+                )
+            outcomes.append(
+                SubmissionOutcome(
+                    submission=submission,
+                    status="completed",
+                    admitted_at=gate.admitted_at[sid],
+                    finished_at=max(ends),
+                )
+            )
+        return outcomes
+
+    def _digest(
+        self,
+        outcomes: list[SubmissionOutcome],
+        schedule: ScheduleResult,
+    ) -> ServiceMetrics:
+        tenants: dict[str, TenantMetrics] = {}
+        for outcome in outcomes:
+            submission = outcome.submission
+            tm = tenants.setdefault(
+                submission.tenant, TenantMetrics(tenant=submission.tenant)
+            )
+            tm.offered += 1
+            if outcome.status == "rejected":
+                tm.rejected += 1
+            else:
+                tm.admitted += 1
+                tm.completed += 1
+                tm.response_times.append(outcome.response_time)
+            if submission.deadline is not None:
+                tm.slo_tagged += 1
+                if outcome.slo_missed:
+                    tm.slo_misses += 1
+        timeline = (
+            utilization_timeline(schedule, bucket=self.timeline_bucket)
+            if self.timeline_bucket is not None
+            else []
+        )
+        return ServiceMetrics(
+            admission_name=self.admission.name,
+            elapsed=schedule.elapsed,
+            tenants=tenants,
+            cpu_utilization=schedule.cpu_utilization,
+            io_utilization=schedule.io_utilization,
+            utilization_timeline=timeline,
+        )

@@ -1,6 +1,6 @@
 """Simulation engines: the fluid-rate engine and the page-level micro engine."""
 
-from .fluid import FluidSimulator, ScheduleResult, TaskRecord
+from .fluid import FluidSimulator, ScheduleResult, ShedRecord, TaskRecord
 from .micro import MicroSimulator, ScanSpec, spec_for_io_rate
 
 __all__ = [
@@ -8,6 +8,7 @@ __all__ = [
     "MicroSimulator",
     "ScanSpec",
     "ScheduleResult",
+    "ShedRecord",
     "TaskRecord",
     "spec_for_io_rate",
 ]

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 from ..config import MachineConfig
 from ..core.balance import effective_bandwidth_mix
-from ..core.schedulers import Action, Adjust, SchedulingPolicy, Start
+from ..core.schedulers import Action, Adjust, SchedulingPolicy, Shed, Start
 from ..core.task import IOPattern, Task
 from ..errors import SimulationError
 
@@ -69,6 +69,14 @@ class TaskRecord:
         return self.started_at - self.task.arrival_time
 
 
+@dataclass(frozen=True)
+class ShedRecord:
+    """Trace of one task dropped by a :class:`~repro.core.schedulers.Shed`."""
+
+    task: Task
+    shed_at: float
+
+
 @dataclass
 class ScheduleResult:
     """Outcome of one simulated run."""
@@ -81,6 +89,7 @@ class ScheduleResult:
     io_served: float  # io requests served
     machine: MachineConfig
     peak_memory: float = 0.0  # largest co-resident working set (bytes)
+    shed_records: list[ShedRecord] = field(default_factory=list)
 
     @property
     def cpu_utilization(self) -> float:
@@ -179,6 +188,7 @@ class FluidSimulator:
             io_served=io_served,
             machine=self.machine,
             peak_memory=peak_memory,
+            shed_records=state.shed_records,
         )
 
     # -- internals ----------------------------------------------------------------
@@ -195,6 +205,8 @@ class FluidSimulator:
                     run.remaining += self.adjustment_overhead
                     run.history.append((state.clock, action.parallelism))
                     adjustments += 1
+            elif isinstance(action, Shed):
+                state.shed(action.task)
             else:  # pragma: no cover - exhaustiveness guard
                 raise SimulationError(f"unknown action: {action!r}")
         return adjustments
@@ -249,6 +261,7 @@ class _SimState:
         self.clock = 0.0
         self.running_map: dict[int, _Running] = {}
         self.records: list[TaskRecord] = []
+        self.shed_records: list[ShedRecord] = []
         self.completed_ids: set[int] = set()
         self._arrivals: list[tuple[float, int, Task]] = [
             (t.arrival_time, i, t) for i, t in enumerate(tasks)
@@ -292,6 +305,16 @@ class _SimState:
             history=[(self.clock, parallelism)],
         )
         self.running_map[task.task_id] = run
+
+    def shed(self, task: Task) -> None:
+        """Drop a pending (possibly not-yet-ready) task without running it."""
+        if task.task_id in self.running_map:
+            raise SimulationError(f"{task!r} is running and cannot be shed")
+        try:
+            self._pending.remove(task)
+        except ValueError:
+            raise SimulationError(f"{task!r} is not pending") from None
+        self.shed_records.append(ShedRecord(task=task, shed_at=self.clock))
 
     def settle(self) -> None:
         """Retire finished tasks and admit due arrivals."""

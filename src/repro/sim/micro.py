@@ -733,3 +733,7 @@ class _PolicyState:
     @property
     def pending(self) -> list[Task]:
         return self._engine.pending
+
+    @property
+    def completed_ids(self) -> set[int]:
+        return self._engine.completed_ids

@@ -1,0 +1,89 @@
+"""Tests for submissions and the bounded per-tenant queues."""
+
+import pytest
+
+from repro.core import make_task
+from repro.errors import AdmissionError, ServiceOverloadError
+from repro.service import AdmissionQueue, ServiceSubmission
+
+
+def submission(name="q", tenant="t0", io_rate=40.0, arrival=0.0, deadline=None):
+    task = make_task(f"{name}-frag", io_rate=io_rate, seq_time=10.0)
+    return ServiceSubmission(
+        name=name,
+        tenant=tenant,
+        tasks=(task.with_arrival(arrival),),
+        arrival_time=arrival,
+        deadline=deadline,
+    )
+
+
+class TestServiceSubmission:
+    def test_properties(self):
+        s = submission(io_rate=40.0)
+        assert s.n_fragments == 1
+        assert s.total_seq_time == pytest.approx(10.0)
+        assert s.total_io_count == pytest.approx(400.0)
+        assert s.io_rate == pytest.approx(40.0)
+
+    def test_bundle_io_rate_is_work_weighted(self):
+        io = make_task("io", io_rate=50.0, seq_time=30.0)
+        cpu = make_task("cpu", io_rate=10.0, seq_time=10.0)
+        s = ServiceSubmission(name="q", tenant="t0", tasks=(io, cpu))
+        # (50*30 + 10*10) / 40 = 40 — not the unweighted mean 30.
+        assert s.io_rate == pytest.approx(40.0)
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(AdmissionError):
+            ServiceSubmission(name="q", tenant="t0", tasks=())
+
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(AdmissionError):
+            submission(arrival=5.0, deadline=4.0)
+
+    def test_ids_are_unique(self):
+        assert submission().submission_id != submission().submission_id
+
+
+class TestAdmissionQueue:
+    def test_global_fifo_across_tenants(self):
+        queue = AdmissionQueue(capacity_per_tenant=2)
+        a = submission("a", tenant="t0")
+        b = submission("b", tenant="t1")
+        c = submission("c", tenant="t0")
+        for i, s in enumerate((a, b, c)):
+            queue.offer(s, now=float(i))
+        assert [e.submission.name for e in queue.waiting()] == ["a", "b", "c"]
+        assert len(queue) == 3
+        assert queue.depth("t0") == 2
+        assert queue.depth("t1") == 1
+
+    def test_take_preserves_order_of_the_rest(self):
+        queue = AdmissionQueue(capacity_per_tenant=4)
+        subs = [submission(n) for n in ("a", "b", "c")]
+        for s in subs:
+            queue.offer(s, now=0.0)
+        taken = queue.take(subs[1].submission_id)
+        assert taken.name == "b"
+        assert [e.submission.name for e in queue.waiting()] == ["a", "c"]
+
+    def test_take_unknown_id_raises(self):
+        queue = AdmissionQueue(capacity_per_tenant=1)
+        with pytest.raises(AdmissionError):
+            queue.take(12345)
+
+    def test_overflow_sheds_with_typed_error(self):
+        queue = AdmissionQueue(capacity_per_tenant=1)
+        queue.offer(submission("a", tenant="t0"), now=0.0)
+        extra = submission("b", tenant="t0")
+        with pytest.raises(ServiceOverloadError) as exc:
+            queue.offer(extra, now=1.0)
+        assert exc.value.submission_id == extra.submission_id
+        assert exc.value.tenant == "t0"
+        # Other tenants are unaffected by one tenant's full queue.
+        queue.offer(submission("c", tenant="t1"), now=1.0)
+        assert len(queue) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(AdmissionError):
+            AdmissionQueue(capacity_per_tenant=0)

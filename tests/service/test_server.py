@@ -1,0 +1,156 @@
+"""End-to-end tests for the online serving loop."""
+
+import pytest
+
+from repro.config import paper_machine
+from repro.core import make_task
+from repro.errors import AdmissionError
+from repro.service import (
+    BalanceAwareAdmission,
+    FifoAdmission,
+    QueryService,
+    ServiceSubmission,
+    poisson_stream,
+)
+
+
+@pytest.fixture
+def machine():
+    return paper_machine()
+
+
+def submission(name, tenant="t0", io_rate=40.0, arrival=0.0, deadline=None,
+               n_fragments=1):
+    tasks = tuple(
+        make_task(
+            f"{name}-f{i}",
+            io_rate=io_rate,
+            seq_time=10.0,
+            arrival_time=arrival,
+        )
+        for i in range(n_fragments)
+    )
+    return ServiceSubmission(
+        name=name,
+        tenant=tenant,
+        tasks=tasks,
+        arrival_time=arrival,
+        deadline=deadline,
+    )
+
+
+class TestQueryService:
+    def test_light_load_completes_everything(self, machine):
+        stream = [submission(f"q{i}", arrival=50.0 * i) for i in range(4)]
+        result = QueryService(machine).run(stream)
+        assert all(o.status == "completed" for o in result.outcomes)
+        overall = result.metrics.overall
+        assert overall.offered == 4
+        assert overall.completed == 4
+        assert overall.rejected == 0
+        for outcome in result.outcomes:
+            assert outcome.response_time > 0
+            assert outcome.queueing_delay >= 0
+            assert outcome.finished_at >= outcome.admitted_at
+
+    def test_overload_sheds_and_records_rejection(self, machine):
+        # Ten simultaneous arrivals against a queue of one and a single
+        # in-flight slot: most must be shed.
+        stream = [
+            submission(f"q{i}", arrival=0.0, deadline=100.0) for i in range(10)
+        ]
+        service = QueryService(
+            machine, queue_capacity=1, max_inflight_fragments=1
+        )
+        result = service.run(stream)
+        rejected = [o for o in result.outcomes if o.status == "rejected"]
+        completed = [o for o in result.outcomes if o.status == "completed"]
+        assert rejected and completed
+        assert result.metrics.overall.rejected == len(rejected)
+        for outcome in rejected:
+            assert outcome.rejected_at is not None
+            assert outcome.slo_missed  # SLO-tagged and never answered
+            with pytest.raises(AdmissionError):
+                outcome.response_time
+            with pytest.raises(AdmissionError):
+                outcome.queueing_delay
+
+    def test_shed_fragments_never_run(self, machine):
+        stream = [submission(f"q{i}", arrival=0.0) for i in range(6)]
+        service = QueryService(
+            machine, queue_capacity=1, max_inflight_fragments=1
+        )
+        result = service.run(stream)
+        ran = {r.task.task_id for r in result.schedule.records}
+        for outcome in result.outcomes:
+            if outcome.status == "rejected":
+                assert all(t.task_id not in ran for t in outcome.submission.tasks)
+
+    def test_inflight_budget_is_respected(self, machine):
+        stream = [submission(f"q{i}", arrival=0.0) for i in range(5)]
+        service = QueryService(
+            machine, queue_capacity=5, max_inflight_fragments=2
+        )
+        result = service.run(stream)
+        # Replay start/finish events: admitted fragments never exceed
+        # the budget, which also bounds concurrently running tasks.
+        events = []
+        for record in result.schedule.records:
+            events.append((record.started_at, 1))
+            events.append((record.finished_at, -1))
+        events.sort()
+        live = peak = 0
+        for __, delta in events:
+            live += delta
+            peak = max(peak, live)
+        assert peak <= 2
+
+    def test_oversized_bundle_admitted_when_idle(self, machine):
+        # A 3-fragment bundle exceeds the budget of 2 but must still be
+        # admitted when nothing is in flight (the gate never wedges).
+        stream = [submission("big", n_fragments=3)]
+        service = QueryService(machine, max_inflight_fragments=2)
+        result = service.run(stream)
+        assert result.outcome("big").status == "completed"
+
+    def test_deadline_classification(self, machine):
+        met = submission("fast", arrival=0.0, deadline=1000.0)
+        missed = submission("slow", arrival=0.0, deadline=0.001)
+        result = QueryService(machine).run([met, missed])
+        assert not result.outcome("fast").slo_missed
+        assert result.outcome("slow").slo_missed
+        assert result.metrics.overall.slo_miss_rate == pytest.approx(0.5)
+
+    def test_deterministic_across_runs(self, machine):
+        stream = poisson_stream(rate=0.1, seed=3)
+        first = QueryService(machine).run(stream)
+        second = QueryService(machine).run(stream)
+        assert first.metrics.to_table() == second.metrics.to_table()
+
+    def test_admission_name_recorded(self, machine):
+        stream = [submission("q0")]
+        assert QueryService(machine).run(stream).admission_name == "BALANCE"
+        fifo = QueryService(machine, admission=FifoAdmission())
+        assert fifo.run(stream).admission_name == "FIFO"
+
+    def test_empty_stream_raises(self, machine):
+        with pytest.raises(AdmissionError):
+            QueryService(machine).run([])
+
+    def test_duplicate_names_raise(self, machine):
+        stream = [submission("dup"), submission("dup")]
+        with pytest.raises(AdmissionError):
+            QueryService(machine).run(stream)
+
+    def test_unknown_outcome_name_raises(self, machine):
+        result = QueryService(machine).run([submission("q0")])
+        with pytest.raises(AdmissionError):
+            result.outcome("nope")
+
+    def test_balance_and_fifo_share_the_engine(self, machine):
+        # Same stream, both arms: identical offered counts, both digest
+        # into the same metric shape — the A/B the benchmark relies on.
+        stream = poisson_stream(rate=0.1, seed=5)
+        for admission in (FifoAdmission(), BalanceAwareAdmission()):
+            result = QueryService(machine, admission=admission).run(stream)
+            assert result.metrics.overall.offered == len(stream)

@@ -1,0 +1,95 @@
+"""Tests for the offered-load stress harness."""
+
+import pytest
+
+from repro.config import paper_machine
+from repro.errors import ConfigError
+from repro.service import (
+    ArrivalConfig,
+    FifoAdmission,
+    QueryService,
+    estimate_capacity,
+    format_sweep,
+    run_point,
+    sweep,
+)
+
+
+@pytest.fixture
+def machine():
+    return paper_machine()
+
+
+@pytest.fixture
+def config():
+    return ArrivalConfig(n_submissions=16)
+
+
+class TestEstimateCapacity:
+    def test_positive_and_deterministic(self, machine, config):
+        first = estimate_capacity(
+            seed=0, config=config, machine=machine, n_probe=10
+        )
+        second = estimate_capacity(
+            seed=0, config=config, machine=machine, n_probe=10
+        )
+        assert first > 0
+        assert first == second
+
+    def test_probe_never_sheds(self, machine, config):
+        # Even a service with a tiny queue measures capacity over the
+        # whole probe batch.
+        service = QueryService(machine, queue_capacity=1)
+        mu = estimate_capacity(
+            seed=0, config=config, machine=machine, service=service, n_probe=10
+        )
+        assert mu > 0
+
+
+class TestSweep:
+    def test_knee_table_is_reproducible(self, machine, config):
+        kwargs = dict(
+            rhos=(0.5, 0.9), seed=0, config=config, machine=machine
+        )
+        first = format_sweep(sweep(**kwargs))
+        second = format_sweep(sweep(**kwargs))
+        assert first == second
+
+    def test_latency_grows_with_offered_load(self, machine, config):
+        points = sweep(
+            rhos=(0.3, 1.5),
+            seed=0,
+            config=config,
+            machine=machine,
+            admission=FifoAdmission(),
+        )
+        light, heavy = points
+        assert heavy.p95 >= light.p95
+        assert heavy.rate > light.rate
+
+    def test_run_point_counts_are_consistent(self, machine, config):
+        service = QueryService(machine)
+        point, result = run_point(
+            rate=0.05,
+            rho=0.5,
+            seed=1,
+            config=config,
+            machine=machine,
+            service=service,
+        )
+        assert point.offered == config.n_submissions
+        assert point.completed + point.rejected == point.offered
+        assert point.completed == result.metrics.overall.completed
+
+    def test_sweep_validation(self, machine, config):
+        with pytest.raises(ConfigError):
+            sweep(rhos=(), config=config, machine=machine)
+        with pytest.raises(ConfigError):
+            sweep(rhos=(0.5, -1.0), config=config, machine=machine)
+
+    def test_format_sweep_has_header_and_rows(self, machine, config):
+        points = sweep(rhos=(0.5,), seed=0, config=config, machine=machine)
+        table = format_sweep(points, title="knee")
+        assert "knee" in table
+        assert "p95 (s)" in table
+        assert "0.50" in table

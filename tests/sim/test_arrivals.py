@@ -1,0 +1,93 @@
+"""Arrival-time semantics of the fluid engine (open-system edge cases)."""
+
+import pytest
+
+from repro.config import paper_machine
+from repro.core import InterWithAdjPolicy, make_task
+from repro.sim import FluidSimulator
+
+
+@pytest.fixture
+def machine():
+    return paper_machine()
+
+
+def run(machine, tasks):
+    return FluidSimulator(machine).run(tasks, InterWithAdjPolicy())
+
+
+class TestSimultaneousArrivals:
+    def test_same_instant_arrivals_all_complete(self, machine):
+        tasks = [
+            make_task(f"t{i}", io_rate=40.0, seq_time=5.0, arrival_time=3.0)
+            for i in range(4)
+        ]
+        result = run(machine, tasks)
+        assert len(result.records) == 4
+        for record in result.records:
+            assert record.started_at >= 3.0
+            assert record.finished_at > record.started_at
+
+    def test_nothing_starts_before_it_arrives(self, machine):
+        tasks = [
+            make_task("early", io_rate=40.0, seq_time=5.0, arrival_time=0.0),
+            make_task("late", io_rate=40.0, seq_time=5.0, arrival_time=2.0),
+        ]
+        result = run(machine, tasks)
+        assert result.record_for(tasks[1]).started_at >= 2.0
+
+
+class TestIdleGapAdvance:
+    def test_clock_jumps_over_an_idle_machine(self, machine):
+        # The machine drains completely, then a task arrives much later:
+        # the engine must advance straight to the arrival, not stall.
+        tasks = [
+            make_task("first", io_rate=40.0, seq_time=2.0, arrival_time=0.0),
+            make_task("late", io_rate=40.0, seq_time=2.0, arrival_time=500.0),
+        ]
+        result = run(machine, tasks)
+        late = result.record_for(tasks[1])
+        assert late.started_at >= 500.0
+        assert result.elapsed >= 500.0
+        # The gap is idle, not busy-waited: utilization stays tiny.
+        assert result.cpu_utilization < 0.05
+
+    def test_multiple_gaps(self, machine):
+        tasks = [
+            make_task(f"t{i}", io_rate=40.0, seq_time=1.0, arrival_time=100.0 * i)
+            for i in range(4)
+        ]
+        result = run(machine, tasks)
+        assert len(result.records) == 4
+        for i, task in enumerate(tasks):
+            assert result.record_for(task).started_at >= 100.0 * i
+
+
+class TestTinyTasks:
+    def test_near_zero_duration_tasks_do_not_stall(self, machine):
+        # seq_time must be positive, so "zero-duration" means epsilon:
+        # the event loop has to retire them without spinning forever.
+        tasks = [
+            make_task(f"blip{i}", io_rate=1.0, seq_time=1e-9, arrival_time=1.0)
+            for i in range(8)
+        ]
+        result = run(machine, tasks)
+        assert len(result.records) == 8
+        assert result.elapsed == pytest.approx(1.0, abs=1e-3)
+
+    def test_tiny_tasks_mixed_with_real_work(self, machine):
+        tasks = [
+            make_task("big", io_rate=40.0, seq_time=10.0, arrival_time=0.0),
+            make_task("blip", io_rate=1.0, seq_time=1e-9, arrival_time=5.0),
+        ]
+        result = run(machine, tasks)
+        assert len(result.records) == 2
+        blip = result.record_for(tasks[1])
+        assert blip.started_at >= 5.0
+
+    def test_io_free_task_completes(self, machine):
+        tasks = [
+            make_task("pure-cpu", io_rate=0.0, seq_time=3.0, arrival_time=0.0)
+        ]
+        result = run(machine, tasks)
+        assert result.records[0].task.io_count == 0.0

@@ -1,8 +1,6 @@
 """Tests for the ``python -m repro`` CLI."""
 
-import pytest
-
-from repro.__main__ import main
+from repro.__main__ import EXIT_REPRO_ERROR, EXIT_USAGE, main
 
 
 class TestCli:
@@ -43,6 +41,46 @@ class TestCli:
         assert main(["demo-sql", "SELECT FROM"]) == 1
         assert "SQL error" in capsys.readouterr().err
 
-    def test_unknown_command(self):
-        with pytest.raises(SystemExit):
-            main(["frobnicate"])
+    def test_unknown_command_exits_usage(self, capsys):
+        assert main(["frobnicate"]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_missing_command_exits_usage(self, capsys):
+        assert main([]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+    def test_repro_error_exits_distinct_code(self, capsys):
+        # A negative rate raises ConfigError (a ReproError): exit 3,
+        # distinct from argparse usage errors (exit 2).
+        assert main(["serve", "--rate", "-1"]) == EXIT_REPRO_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_smoke(self, capsys):
+        assert main(["serve", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: 10/10 completed" in out
+        assert "q0" in out and "response=" in out
+
+    def test_serve_smoke_is_deterministic(self, capsys):
+        assert main(["serve", "--smoke"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--smoke"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_metrics_table(self, capsys):
+        assert main(["serve", "--n", "20", "--arrivals", "onoff"]) == 0
+        out = capsys.readouterr().out
+        assert "service metrics" in out
+        assert "etl" in out and "olap" in out
+
+    def test_serve_sweep(self, capsys):
+        assert main(
+            ["serve", "--sweep", "--rho-points", "0.6", "--n", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "latency-vs-throughput knee" in out
+        assert "0.60" in out

@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy, focusing on the serving errors."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    ConfigError,
+    ReproError,
+    SchedulingError,
+    ServiceError,
+    ServiceOverloadError,
+)
+
+
+class TestHierarchy:
+    def test_service_errors_are_repro_errors(self):
+        assert issubclass(ServiceError, ReproError)
+        assert issubclass(ServiceOverloadError, ServiceError)
+        assert issubclass(AdmissionError, ServiceError)
+
+    def test_one_except_clause_catches_everything(self):
+        for error in (
+            ConfigError("bad config"),
+            SchedulingError("bad task"),
+            ServiceOverloadError(1, "t0"),
+            AdmissionError(2, "nope"),
+        ):
+            with pytest.raises(ReproError):
+                raise error
+
+
+class TestServiceOverloadError:
+    def test_carries_rejected_submission_identity(self):
+        error = ServiceOverloadError(41, "etl")
+        assert error.submission_id == 41
+        assert error.tenant == "etl"
+        assert "41" in str(error)
+        assert "etl" in str(error)
+
+
+class TestAdmissionError:
+    def test_carries_submission_id_and_reason(self):
+        error = AdmissionError(7, "submission has no tasks")
+        assert error.submission_id == 7
+        assert "submission 7" in str(error)
+        assert "no tasks" in str(error)

@@ -39,6 +39,13 @@ from .core import (
     max_parallelism,
 )
 from .errors import ReproError
+from .faults import (
+    CircuitBreaker,
+    FaultSchedule,
+    RetryPolicy,
+    load_schedule,
+    preset_schedule,
+)
 from .optimizer import JoinPredicate, OptimizerMode, Query, TwoPhaseOptimizer, parcost
 from .plans import fragment_plan
 from .service import QueryService, mixed_tenant_config, poisson_stream
@@ -51,7 +58,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BalancePoint",
+    "CircuitBreaker",
     "DiskProfile",
+    "FaultSchedule",
     "FluidSimulator",
     "IOPattern",
     "InterWithAdjPolicy",
@@ -64,6 +73,7 @@ __all__ = [
     "Query",
     "QueryService",
     "ReproError",
+    "RetryPolicy",
     "ScanSpec",
     "ExplainReport",
     "Task",
@@ -81,12 +91,14 @@ __all__ = [
     "intra_time",
     "is_cpu_bound",
     "is_io_bound",
+    "load_schedule",
     "make_task",
     "max_parallelism",
     "mixed_tenant_config",
     "paper_machine",
     "parcost",
     "poisson_stream",
+    "preset_schedule",
     "run_figure7",
     "run_sql",
     "spec_for_io_rate",

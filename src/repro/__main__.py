@@ -9,6 +9,7 @@ Commands:
 * ``gantt``     — schedule one workload and draw its Gantt chart.
 * ``demo-sql``  — build a demo database and run a SQL statement.
 * ``serve``     — serving mode: open arrival stream + admission control.
+* ``chaos``     — run the simulator under an injected fault schedule.
 
 Exit codes: ``0`` success, ``1`` command-specific failure, ``2`` bad
 arguments (argparse usage errors), ``3`` a :class:`~repro.errors.ReproError`
@@ -202,6 +203,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .errors import SimulationError
+    from .faults import load_schedule, random_schedule
+    from .faults.chaos import run_chaos
+
+    schedule = None
+    if args.schedule is not None:
+        schedule = load_schedule(args.schedule)
+    elif args.random is not None:
+        schedule = random_schedule(
+            args.random,
+            horizon=args.horizon,
+            n_disks=4,
+            task_names=("io0", "cpu0", "rnd0"),
+        )
+    scale = 0.2 if args.smoke else args.scale
+    try:
+        report = run_chaos(
+            schedule=schedule,
+            preset=args.preset,
+            seed=args.seed,
+            scale=scale,
+            adjust_timeout=args.adjust_timeout,
+        )
+    except SimulationError as error:
+        # A tolerance invariant broke mid-run (e.g. page conservation):
+        # that is a chaos *failure*, distinct from a usage error.
+        print(f"chaos failed: {error}", file=sys.stderr)
+        return 1
+    print("\n".join(report.to_lines()))
+    if not report.ok:
+        print("chaos failed: fault tolerance verdict FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -309,6 +346,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick deterministic end-to-end trace",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = commands.add_parser(
+        "chaos", help="run the simulator under an injected fault schedule"
+    )
+    chaos.add_argument(
+        "--preset",
+        choices=("slow-disk", "stall", "crashes", "messages", "mixed"),
+        default="mixed",
+        help="built-in fault schedule (scaled to the healthy elapsed time)",
+    )
+    chaos.add_argument(
+        "--schedule",
+        default=None,
+        metavar="FILE",
+        help="JSON fault-schedule file (overrides --preset)",
+    )
+    chaos.add_argument(
+        "--random",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="generate a random schedule from SEED (overrides --preset)",
+    )
+    chaos.add_argument(
+        "--horizon",
+        type=float,
+        default=15.0,
+        help="time horizon of a --random schedule, seconds",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier",
+    )
+    chaos.add_argument(
+        "--adjust-timeout",
+        type=float,
+        default=0.5,
+        help="master's adjustment-round timeout, seconds",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick deterministic run on a shrunken workload",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

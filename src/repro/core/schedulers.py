@@ -107,6 +107,16 @@ class SchedulingPolicy:
         """Called at start, on every arrival and on every completion."""
         raise NotImplementedError
 
+    def next_wakeup(self, now: float) -> float | None:
+        """Earliest future time the policy wants to be consulted even
+        though no completion or arrival is due (``None`` = none).
+
+        Lets a policy hold deferred work — e.g. the serving gate's
+        retry backoffs — without the engine declaring a deadlock while
+        nothing is running.
+        """
+        return None
+
     def reset(self) -> None:
         """Clear internal state before a fresh run."""
 
@@ -158,6 +168,15 @@ class InterWithAdjPolicy(SchedulingPolicy):
             (ablation); ``"sjf"`` pairs shortest jobs first — the
             paper's multi-user heuristic "to minimize the response time
             of individual queries instead of the total elapsed time".
+        degradation_aware: recompute balance points against the
+            engine's *measured* bandwidth (``state.effective_machine``)
+            instead of the static ``MachineConfig.B``, and re-balance a
+            running pair when the measured bandwidth drifts — e.g. a
+            disk degraded by fault injection shifts the balance point
+            toward the CPU-bound task.
+        rebalance_threshold: relative change in measured bandwidth that
+            triggers a re-balance of a running pair (hysteresis against
+            adjustment churn).
     """
 
     name = "INTER-WITH-ADJ"
@@ -168,16 +187,24 @@ class InterWithAdjPolicy(SchedulingPolicy):
         integral: bool = False,
         use_effective_bandwidth: bool = True,
         pairing: str = "extreme",
+        degradation_aware: bool = False,
+        rebalance_threshold: float = 0.05,
     ) -> None:
         if pairing not in ("extreme", "fifo", "sjf"):
             raise SchedulingError(f"unknown pairing strategy: {pairing!r}")
+        if rebalance_threshold < 0:
+            raise SchedulingError("rebalance_threshold must be >= 0")
         self.integral = integral
         self.use_effective_bandwidth = use_effective_bandwidth
         self.pairing = pairing
+        self.degradation_aware = degradation_aware
+        self.rebalance_threshold = rebalance_threshold
         self._solo_until_done: set[int] = set()
+        self._last_b: float | None = None
 
     def reset(self) -> None:
         self._solo_until_done.clear()
+        self._last_b = None
 
     # -- queue views -------------------------------------------------------------
 
@@ -294,8 +321,63 @@ class InterWithAdjPolicy(SchedulingPolicy):
         return [Start(fi, x)]
 
     def decide(self, state: EngineState) -> list[Action]:
+        if self.degradation_aware:
+            eff = getattr(state, "effective_machine", None)
+            if (
+                eff is not None
+                and eff.io_bandwidth != state.machine.io_bandwidth
+            ):
+                state = _MachineOverrideView(state, eff)
+        actions = self._decide(state)
+        if actions:
+            self._last_b = state.machine.io_bandwidth
+        return actions
+
+    def _rebalance(self, state: EngineState) -> list[Action]:
+        """Re-seat a running pair on the *measured* balance point."""
+        machine = state.machine
+        b = machine.io_bandwidth
+        if (
+            self._last_b is not None
+            and self._last_b > 0
+            and abs(b - self._last_b) / self._last_b <= self.rebalance_threshold
+        ):
+            return []
+        views = list(state.running)
+        remnants = []
+        for view in views:
+            rem = max(view.remaining_seq_time, 1e-12)
+            remnants.append(
+                Task(
+                    name=view.task.name,
+                    seq_time=rem,
+                    io_count=view.task.io_rate * rem,
+                    io_pattern=view.task.io_pattern,
+                )
+            )
+        point = balance_point(
+            remnants[0],
+            remnants[1],
+            machine,
+            use_effective_bandwidth=self.use_effective_bandwidth,
+        )
+        if point is None:
+            return []
+        actions: list[Action] = []
+        for view, remnant in zip(views, remnants):
+            x = _clamp(point.parallelism_of(remnant), machine, integral=self.integral)
+            if abs(x - view.parallelism) > 1e-9:
+                actions.append(Adjust(view.task, x))
+        # Remember the bandwidth we balanced for even when the clamped
+        # allocation came out unchanged, so hysteresis still applies.
+        self._last_b = b
+        return actions
+
+    def _decide(self, state: EngineState) -> list[Action]:
         machine = state.machine
         if len(state.running) >= 2:
+            if self.degradation_aware and len(state.running) == 2:
+                return self._rebalance(state)
             return []
         if len(state.running) == 1:
             partner = state.running[0]
@@ -329,6 +411,17 @@ class InterWithAdjPolicy(SchedulingPolicy):
         task = queue[0]
         x = _clamp(max_parallelism(task, machine), machine, integral=self.integral)
         return [Start(task, x)]
+
+
+class _MachineOverrideView:
+    """EngineState proxy whose ``machine`` is the measured one."""
+
+    def __init__(self, state: EngineState, machine: MachineConfig) -> None:
+        self._state = state
+        self.machine = machine
+
+    def __getattr__(self, name: str):
+        return getattr(self._state, name)
 
 
 class InterWithoutAdjPolicy(SchedulingPolicy):

@@ -76,8 +76,13 @@ class BufferPoolError(StorageError):
     """The buffer pool cannot satisfy a request (e.g. all pages pinned)."""
 
 
-class IndexError_(StorageError):
+class BTreeError(StorageError):
     """A B+tree invariant was violated or a bad key was supplied."""
+
+
+#: Deprecated alias kept for one release: the old name shadow-punned the
+#: ``IndexError`` builtin.  New code must catch :class:`BTreeError`.
+IndexError_ = BTreeError
 
 
 # --------------------------------------------------------------------------
@@ -128,6 +133,34 @@ class ProtocolError(ReproError):
     """A master/slave message violated the adjustment protocol."""
 
 
+class ProtocolTimeoutError(ProtocolError):
+    """An adjustment round did not complete before the master's timeout.
+
+    The master *aborts* the round instead of wedging; the engine records
+    this error in the fault log rather than raising it, so the run
+    continues with the old degrees of parallelism.
+
+    Attributes:
+        task_name: the task whose adjustment hung.
+        timeout: the timeout that expired, in simulated seconds.
+    """
+
+    def __init__(self, task_name: str, timeout: float) -> None:
+        super().__init__(
+            f"adjustment of {task_name!r} timed out after {timeout:g}s; aborted"
+        )
+        self.task_name = task_name
+        self.timeout = timeout
+
+
+# --------------------------------------------------------------------------
+# fault injection
+
+
+class FaultError(ReproError):
+    """A fault schedule is malformed or a fault could not be applied."""
+
+
 # --------------------------------------------------------------------------
 # serving
 
@@ -164,4 +197,34 @@ class AdmissionError(ServiceError):
     def __init__(self, submission_id: int, reason: str) -> None:
         prefix = f"submission {submission_id}: " if submission_id >= 0 else ""
         super().__init__(prefix + reason)
+        self.submission_id = submission_id
+
+
+class RetryExhaustedError(ServiceError):
+    """A submission was shed on every attempt allowed by the retry policy.
+
+    Attributes:
+        submission_id: id of the submission that gave up.
+        attempts: total offers made (the first try plus all retries).
+    """
+
+    def __init__(self, submission_id: int, attempts: int) -> None:
+        super().__init__(
+            f"submission {submission_id} shed after {attempts} attempts"
+        )
+        self.submission_id = submission_id
+        self.attempts = attempts
+
+
+class CircuitOpenError(ServiceError):
+    """A submission was rejected at the gate because the breaker is open.
+
+    Attributes:
+        submission_id: id of the rejected submission.
+    """
+
+    def __init__(self, submission_id: int) -> None:
+        super().__init__(
+            f"submission {submission_id} rejected: circuit breaker is open"
+        )
         self.submission_id = submission_id

@@ -1,0 +1,50 @@
+"""Deterministic fault injection and tolerance machinery.
+
+Everything a robustness run needs: pure-data fault schedules
+(:mod:`~repro.faults.schedule`), the injector bridging a schedule to an
+engine's event loop (:mod:`~repro.faults.injector`), retry backoff for
+the serving gate (:mod:`~repro.faults.retry`) and the admission circuit
+breaker (:mod:`~repro.faults.breaker`).
+
+The chaos harness (:mod:`repro.faults.chaos`) is *not* imported here:
+it drives the simulators, which import this package — importing it
+eagerly would be circular.  Import it directly (the CLI does).
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .injector import FaultInjector, FaultLog
+from .retry import RetryPolicy
+from .schedule import (
+    DiskDegradation,
+    DiskStall,
+    Fault,
+    FaultSchedule,
+    MessageFault,
+    SlaveCrash,
+    fault_from_dict,
+    load_schedule,
+    preset_schedule,
+    random_schedule,
+    schedule_from_dicts,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "DiskDegradation",
+    "DiskStall",
+    "Fault",
+    "FaultInjector",
+    "FaultLog",
+    "FaultSchedule",
+    "MessageFault",
+    "RetryPolicy",
+    "SlaveCrash",
+    "fault_from_dict",
+    "load_schedule",
+    "preset_schedule",
+    "random_schedule",
+    "schedule_from_dicts",
+]

@@ -1,0 +1,186 @@
+"""The chaos harness: the page-level simulator under injected faults.
+
+One chaos run takes a mixed scan workload (an IO-bound scan, a
+CPU-bound scan and a random-access range scan — the same shape the
+paper's experiments stress), runs it healthy to measure a baseline,
+then replays it under a :class:`~repro.faults.schedule.FaultSchedule`
+with the degradation-aware INTER-WITH-ADJ policy and the hardened
+adjustment protocol.  The :class:`ChaosReport` carries both runs, the
+fault log and the tolerance verdict:
+
+* every page processed exactly once (the engine raises on violation and
+  a task cannot complete with pages missing);
+* every adjustment timeout resolved by abort-and-restart — the number
+  of aborts equals the number of timeouts, i.e. no round wedged.
+
+Everything is a pure function of ``(workload, schedule, seed)``, so two
+identical invocations print byte-identical reports — the determinism
+tests rely on it.
+
+This module imports the simulators and therefore must NOT be imported
+from ``repro.faults.__init__`` (the simulators import that package).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig, paper_machine
+from ..core.schedulers import InterWithAdjPolicy
+from ..core.task import IOPattern
+from ..errors import FaultError
+from ..sim.fluid import ScheduleResult
+from ..sim.micro import MicroSimulator, ScanSpec, spec_for_io_rate
+from .injector import FaultLog
+from .schedule import FaultSchedule, preset_schedule
+
+#: Scan shapes of the standard chaos workload: (name, io rate in ios/s,
+#: pages at full size, access pattern, partitioning protocol).
+_WORKLOAD_SHAPE = (
+    ("io0", 55.0, 1500, IOPattern.SEQUENTIAL, "page"),
+    ("cpu0", 8.0, 400, IOPattern.SEQUENTIAL, "page"),
+    ("rnd0", 20.0, 300, IOPattern.RANDOM, "range"),
+)
+
+
+def chaos_workload(
+    machine: MachineConfig, *, scale: float = 1.0
+) -> list[ScanSpec]:
+    """The standard three-scan chaos workload, optionally shrunk.
+
+    ``scale`` multiplies every page count (the ``--smoke`` run uses a
+    small fraction to stay under a second of wall clock).
+    """
+    if scale <= 0:
+        raise FaultError("scale must be positive")
+    specs = []
+    for name, io_rate, n_pages, pattern, partitioning in _WORKLOAD_SHAPE:
+        specs.append(
+            spec_for_io_rate(
+                name,
+                machine,
+                io_rate=io_rate,
+                n_pages=max(int(n_pages * scale), 8),
+                pattern=pattern,
+                partitioning=partitioning,
+            )
+        )
+    return specs
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run (healthy baseline + faulted replay)."""
+
+    schedule: FaultSchedule
+    seed: int
+    healthy: ScheduleResult
+    faulted: ScheduleResult
+
+    @property
+    def log(self) -> FaultLog:
+        """The faulted run's fault log."""
+        assert self.faulted.fault_log is not None
+        return self.faulted.fault_log
+
+    @property
+    def slowdown(self) -> float:
+        """Faulted elapsed over healthy elapsed."""
+        if self.healthy.elapsed <= 0:
+            return 1.0
+        return self.faulted.elapsed / self.healthy.elapsed
+
+    @property
+    def wedged_adjustments(self) -> int:
+        """Timed-out rounds that did *not* resolve via abort (want 0)."""
+        return self.log.adjust_timeouts - self.log.adjust_aborts
+
+    @property
+    def ok(self) -> bool:
+        """Did the run tolerate every fault?
+
+        Completion of every task implies page conservation: the engine
+        raises on any page processed twice, and a task only completes
+        once every page is processed.  On top of that, every protocol
+        timeout must have resolved via abort-and-restart.
+        """
+        return (
+            len(self.faulted.records) == len(self.healthy.records)
+            and self.wedged_adjustments == 0
+        )
+
+    def to_lines(self) -> list[str]:
+        """The report as stable, printable lines."""
+        log = self.log
+        lines = [
+            f"chaos seed={self.seed} faults={len(self.schedule)} scheduled",
+            f"healthy elapsed: {self.healthy.elapsed:.4f}s "
+            f"({self.healthy.adjustments} adjustments)",
+            f"faulted elapsed: {self.faulted.elapsed:.4f}s "
+            f"({self.faulted.adjustments} adjustments, "
+            f"slowdown {self.slowdown:.2f}x)",
+            "fault log:",
+            *("  " + line for line in log.to_lines()),
+            "counters:",
+            f"  faults injected:   {log.faults_injected}",
+            f"  degradations:      {log.degradations}",
+            f"  stalls:            {log.stalls}",
+            f"  slave crashes:     {log.crashes}",
+            f"  messages dropped:  {log.messages_dropped}",
+            f"  messages delayed:  {log.messages_delayed}",
+            f"  pages re-read:     {log.pages_reread}",
+            f"  adjust timeouts:   {log.adjust_timeouts}",
+            f"  adjust aborts:     {log.adjust_aborts}",
+            f"verdict: {'OK' if self.ok else 'FAILED'} "
+            f"({len(self.faulted.records)}/{len(self.healthy.records)} tasks, "
+            f"{self.wedged_adjustments} wedged adjustments)",
+        ]
+        return lines
+
+
+def run_chaos(
+    *,
+    schedule: FaultSchedule | None = None,
+    preset: str = "mixed",
+    seed: int = 0,
+    scale: float = 1.0,
+    machine: MachineConfig | None = None,
+    adjust_timeout: float = 0.5,
+    consult_interval: float = 1.0,
+) -> ChaosReport:
+    """One chaos run: healthy baseline, then the faulted replay.
+
+    Args:
+        schedule: explicit fault schedule; ``None`` derives one from
+            ``preset`` scaled to the measured healthy elapsed time.
+        preset: preset name used when ``schedule`` is ``None``.
+        seed: seeds both the workload's random block orders and the
+            injector's crash-target picks.
+        scale: workload size multiplier (smoke runs shrink it).
+        machine: machine configuration (defaults to the paper machine).
+        adjust_timeout: master's adjustment-round timeout, seconds.
+        consult_interval: master-tick period, seconds; the policy needs
+            ticks to notice mid-task bandwidth drift.
+    """
+    machine = machine or paper_machine()
+    specs = chaos_workload(machine, scale=scale)
+
+    def policy() -> InterWithAdjPolicy:
+        return InterWithAdjPolicy(integral=True, degradation_aware=True)
+
+    healthy = MicroSimulator(
+        machine, seed=seed, consult_interval=consult_interval
+    ).run(specs, policy())
+    if schedule is None:
+        schedule = preset_schedule(preset, horizon=healthy.elapsed)
+    faulted = MicroSimulator(
+        machine,
+        seed=seed,
+        consult_interval=consult_interval,
+        faults=schedule,
+        fault_seed=seed,
+        adjust_timeout=adjust_timeout,
+    ).run(specs, policy())
+    return ChaosReport(
+        schedule=schedule, seed=seed, healthy=healthy, faulted=faulted
+    )

@@ -1,0 +1,155 @@
+"""The fault injector: live fault state plus the fault log.
+
+The injector is the bridge between a pure :class:`FaultSchedule` and an
+execution engine.  The engine owns the event heap, so *it* arms the
+timed transitions (degradation begin/end, stall begin, crash instants)
+and calls back into the injector, which tracks:
+
+* which :class:`~repro.faults.schedule.DiskDegradation` windows are
+  active per disk (:meth:`multiplier` is their product);
+* until when each disk is stalled (:meth:`stalled_until`);
+* which :class:`~repro.faults.schedule.MessageFault` is next in line
+  (:meth:`message_fate` consumes them in ``at`` order);
+* a seeded RNG used for crash-target picks, so a schedule that says
+  "crash *someone*" is still deterministic per seed;
+* the :class:`FaultLog` — every injected fault and every tolerance
+  action (re-read pages, aborted adjustment rounds) as a timestamped,
+  byte-reproducible trace.
+
+One injector serves one engine run.  :meth:`reset` rewinds it so the
+same instance can drive a repeat run (the determinism tests do).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import FaultError
+from .schedule import DiskDegradation, DiskStall, FaultSchedule
+
+
+@dataclass
+class FaultLog:
+    """Timestamped trace and counters of one faulted run."""
+
+    events: list[tuple[float, str, str]] = field(default_factory=list)
+    degradations: int = 0
+    stalls: int = 0
+    crashes: int = 0
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    pages_reread: int = 0
+    adjust_timeouts: int = 0
+    adjust_aborts: int = 0
+
+    def record(self, t: float, kind: str, detail: str) -> None:
+        """Append one ``(t, kind, detail)`` event."""
+        self.events.append((t, kind, detail))
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults that actually fired (not merely scheduled)."""
+        return (
+            self.degradations
+            + self.stalls
+            + self.crashes
+            + self.messages_dropped
+            + self.messages_delayed
+        )
+
+    def to_lines(self) -> list[str]:
+        """The event trace as stable, printable lines."""
+        return [
+            f"t={t:10.3f}  {kind:<8s} {detail}" for t, kind, detail in self.events
+        ]
+
+
+class FaultInjector:
+    """Live fault state for one engine run (see the module docstring).
+
+    Args:
+        schedule: the fault plan.
+        seed: seeds the RNG used for unspecified crash targets.
+    """
+
+    def __init__(self, schedule: FaultSchedule, *, seed: int = 0) -> None:
+        if not isinstance(schedule, FaultSchedule):
+            raise FaultError("injector needs a FaultSchedule")
+        self.schedule = schedule
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind all live state for a fresh run of the same schedule."""
+        self.rng = random.Random(self.seed)
+        self.log = FaultLog()
+        self._active: dict[int, list[DiskDegradation]] = {}
+        self._stalled_until: dict[int, float] = {}
+        self._message_queue = sorted(
+            self.schedule.message_faults, key=lambda f: f.at
+        )
+
+    # -- disk degradation ---------------------------------------------------------
+
+    def begin_degradation(self, fault: DiskDegradation, now: float) -> None:
+        """Activate a degradation window (called by the engine at start)."""
+        self._active.setdefault(fault.disk, []).append(fault)
+        self.log.degradations += 1
+        self.log.record(
+            now,
+            "degrade",
+            f"disk {fault.disk} at {fault.factor:.0%} bandwidth "
+            f"for {fault.duration:g}s",
+        )
+
+    def end_degradation(self, fault: DiskDegradation, now: float) -> None:
+        """Deactivate a degradation window (called by the engine at end)."""
+        active = self._active.get(fault.disk, [])
+        if fault in active:
+            active.remove(fault)
+            self.log.record(now, "recover", f"disk {fault.disk} back to full bandwidth")
+
+    def multiplier(self, disk_id: int) -> float:
+        """Current bandwidth factor of one disk (1.0 = healthy)."""
+        factor = 1.0
+        for fault in self._active.get(disk_id, []):
+            factor *= fault.factor
+        return factor
+
+    # -- disk stalls --------------------------------------------------------------
+
+    def begin_stall(self, fault: DiskStall, now: float) -> None:
+        """Freeze a disk until the stall's end (called by the engine)."""
+        until = max(self._stalled_until.get(fault.disk, 0.0), fault.end)
+        self._stalled_until[fault.disk] = until
+        self.log.stalls += 1
+        self.log.record(
+            now, "stall", f"disk {fault.disk} frozen for {fault.duration:g}s"
+        )
+
+    def stalled_until(self, disk_id: int) -> float:
+        """Until when the disk dispatches nothing (0.0 = not stalled)."""
+        return self._stalled_until.get(disk_id, 0.0)
+
+    # -- protocol messages --------------------------------------------------------
+
+    def message_fate(self, now: float) -> tuple[str, float]:
+        """Fate of the next protocol leg sent at ``now``.
+
+        Consumes at most one pending :class:`MessageFault` whose ``at``
+        has passed.  Returns ``("ok", 0.0)``, ``("drop", 0.0)`` or
+        ``("delay", extra_seconds)``.
+        """
+        if self._message_queue and self._message_queue[0].at <= now:
+            fault = self._message_queue.pop(0)
+            if fault.kind == "drop":
+                self.log.messages_dropped += 1
+                self.log.record(now, "drop", "protocol message lost")
+                return "drop", 0.0
+            self.log.messages_delayed += 1
+            self.log.record(
+                now, "delay", f"protocol message delayed {fault.extra:g}s"
+            )
+            return "delay", fault.extra
+        return "ok", 0.0

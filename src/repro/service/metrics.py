@@ -47,6 +47,8 @@ class TenantMetrics:
     admitted: int = 0
     rejected: int = 0
     completed: int = 0
+    #: Backoff re-offers made for this tenant's shed submissions.
+    retries: int = 0
     slo_tagged: int = 0
     slo_misses: int = 0
     response_times: list[float] = field(default_factory=list)
@@ -93,6 +95,9 @@ class ServiceMetrics:
     utilization_timeline: list[tuple[float, float, float]] = field(
         default_factory=list
     )
+    #: ``(t, state)`` transitions of the admission circuit breaker
+    #: (empty when no breaker guards the gate).
+    breaker_timeline: list[tuple[float, str]] = field(default_factory=list)
 
     def _totals(self) -> TenantMetrics:
         total = TenantMetrics(tenant="all")
@@ -101,6 +106,7 @@ class ServiceMetrics:
             total.admitted += tm.admitted
             total.rejected += tm.rejected
             total.completed += tm.completed
+            total.retries += tm.retries
             total.slo_tagged += tm.slo_tagged
             total.slo_misses += tm.slo_misses
             total.response_times.extend(tm.response_times)
@@ -130,6 +136,7 @@ class ServiceMetrics:
                 "offered",
                 "admitted",
                 "rejected",
+                "retries",
                 "completed",
                 "p50 (s)",
                 "p95 (s)",
@@ -145,6 +152,13 @@ class ServiceMetrics:
             ),
         )
 
+    def breaker_table(self) -> str:
+        """The breaker-state timeline as a printable table."""
+        rows = [[f"{t:.3f}", state] for t, state in self.breaker_timeline]
+        return format_table(
+            ["t (s)", "breaker"], rows, title="admission breaker timeline"
+        )
+
     @staticmethod
     def _row(tm: TenantMetrics) -> list[str]:
         return [
@@ -152,6 +166,7 @@ class ServiceMetrics:
             str(tm.offered),
             str(tm.admitted),
             str(tm.rejected),
+            str(tm.retries),
             str(tm.completed),
             f"{tm.p50:.3f}",
             f"{tm.p95:.3f}",

@@ -25,8 +25,9 @@ admission controller would.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..config import MachineConfig, paper_machine
 from ..core.schedulers import (
@@ -38,7 +39,12 @@ from ..core.schedulers import (
 )
 from ..core.task import Task
 from ..errors import AdmissionError, ServiceOverloadError
+from ..faults.breaker import CircuitBreaker
+from ..faults.retry import RetryPolicy
 from ..sim.fluid import FluidSimulator, ScheduleResult
+
+if TYPE_CHECKING:
+    from ..faults.schedule import DiskDegradation
 from .admission import AdmissionPolicy, BalanceAwareAdmission
 from .metrics import ServiceMetrics, TenantMetrics, utilization_timeline
 from .queue import AdmissionQueue, ServiceSubmission
@@ -136,6 +142,9 @@ class _GatedView:
         self._allowed = allowed
         self.machine = state.machine
         self.completed_ids = state.completed_ids
+        self.effective_machine = getattr(
+            state, "effective_machine", state.machine
+        )
 
     @property
     def now(self) -> float:
@@ -164,6 +173,14 @@ class AdmissionGate(SchedulingPolicy):
         max_inflight_fragments: admitted-but-unfinished fragment budget;
             when nothing is in flight one submission is always admitted
             regardless, so an over-sized bundle cannot wedge the gate.
+        retry: when set, a shed submission is re-offered after a capped
+            exponential backoff (deterministic jitter) instead of being
+            rejected on the first full queue; ``None`` keeps the
+            pre-hardening single-shot behaviour.
+        breaker: when set, a circuit breaker guards the gate: it opens
+            after consecutive sheds or under sustained measured
+            bandwidth degradation, rejecting offers outright until a
+            cooldown probe succeeds; ``None`` disables it.
     """
 
     name = "ADMISSION-GATE"
@@ -176,6 +193,8 @@ class AdmissionGate(SchedulingPolicy):
         admission: AdmissionPolicy,
         queue_capacity: int = 8,
         max_inflight_fragments: int = 6,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if max_inflight_fragments < 1:
             raise AdmissionError(-1, "max_inflight_fragments must be >= 1")
@@ -183,6 +202,8 @@ class AdmissionGate(SchedulingPolicy):
         self.admission = admission
         self.queue_capacity = queue_capacity
         self.max_inflight_fragments = max_inflight_fragments
+        self.retry = retry
+        self.breaker = breaker
         self._stream = sorted(
             submissions, key=lambda s: (s.arrival_time, s.submission_id)
         )
@@ -201,6 +222,12 @@ class AdmissionGate(SchedulingPolicy):
         self._by_submission: dict[int, ServiceSubmission] = {}
         self.admitted_at: dict[int, float] = {}
         self.rejected_at: dict[int, float] = {}
+        #: Deferred re-offers: (due_time, submission_id, attempt, submission).
+        self._retries: list[tuple[float, int, int, ServiceSubmission]] = []
+        #: Retries performed per submission id.
+        self.retry_counts: dict[int, int] = {}
+        if self.breaker is not None:
+            self.breaker.reset()
 
     # -- gate steps --------------------------------------------------------------
 
@@ -213,12 +240,56 @@ class AdmissionGate(SchedulingPolicy):
         ):
             submission = self._stream[self._cursor]
             self._cursor += 1
-            try:
-                self._queue.offer(submission, state.now)
-            except ServiceOverloadError:
-                self.rejected_at[submission.submission_id] = state.now
-                shed.extend(Shed(task) for task in submission.tasks)
+            shed.extend(self._offer(submission, 0, state))
         return shed
+
+    def _offer(
+        self, submission: ServiceSubmission, attempt: int, state: EngineState
+    ) -> list[Action]:
+        """One offer of a submission to its tenant queue, breaker-gated."""
+        now = state.now
+        if self.breaker is not None and not self.breaker.allow(now):
+            return self._handle_shed(submission, attempt, state)
+        try:
+            self._queue.offer(submission, now)
+        except ServiceOverloadError:
+            if self.breaker is not None:
+                self.breaker.record_failure(now)
+            return self._handle_shed(submission, attempt, state)
+        if self.breaker is not None:
+            self.breaker.record_success(now)
+        return []
+
+    def _handle_shed(
+        self, submission: ServiceSubmission, attempt: int, state: EngineState
+    ) -> list[Action]:
+        """Backoff-and-retry a shed submission, or reject it for good."""
+        if self.retry is not None and attempt < self.retry.max_retries:
+            due = state.now + self.retry.backoff(
+                submission.submission_id, attempt
+            )
+            heapq.heappush(
+                self._retries,
+                (due, submission.submission_id, attempt + 1, submission),
+            )
+            self.retry_counts[submission.submission_id] = attempt + 1
+            return []
+        self.rejected_at[submission.submission_id] = state.now
+        return [Shed(task) for task in submission.tasks]
+
+    def _drain_retries(self, state: EngineState) -> list[Action]:
+        """Re-offer every submission whose backoff has elapsed."""
+        actions: list[Action] = []
+        while self._retries and self._retries[0][0] <= state.now + _EPS:
+            __, __sid, attempt, submission = heapq.heappop(self._retries)
+            actions.extend(self._offer(submission, attempt, state))
+        return actions
+
+    def next_wakeup(self, now: float) -> float | None:
+        """Earliest pending retry, so the engine wakes the gate for it."""
+        if not self._retries:
+            return None
+        return self._retries[0][0]
 
     def _refresh_inflight(self, state: EngineState) -> None:
         """Drop completed fragments from the in-flight set."""
@@ -260,7 +331,14 @@ class AdmissionGate(SchedulingPolicy):
 
     def decide(self, state: EngineState) -> list[Action]:
         """One gate round: offer, admit, then let the scheduler place."""
-        actions = self._offer_arrivals(state)
+        if self.breaker is not None:
+            eff = getattr(state, "effective_machine", None)
+            if eff is not None and state.machine.io_bandwidth > 0:
+                self.breaker.observe_bandwidth(
+                    state.now, eff.io_bandwidth / state.machine.io_bandwidth
+                )
+        actions = self._drain_retries(state)
+        actions.extend(self._offer_arrivals(state))
         self._refresh_inflight(state)
         self._admit(state)
         actions.extend(self.inner.decide(_GatedView(state, self._allowed)))
@@ -279,6 +357,10 @@ class QueryService:
         max_inflight_fragments: admitted-but-unfinished fragment budget.
         timeline_bucket: bucket width (seconds) of the utilization
             timeline attached to the metrics; ``None`` skips it.
+        retry: shed-retry policy handed to the gate (``None`` = off).
+        breaker: admission circuit breaker (``None`` = off).
+        degradations: scheduled disk-bandwidth degradation windows,
+            applied by the fluid engine and observed by the breaker.
     """
 
     def __init__(
@@ -290,6 +372,9 @@ class QueryService:
         queue_capacity: int = 8,
         max_inflight_fragments: int = 6,
         timeline_bucket: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        degradations: "Sequence[DiskDegradation] | None" = None,
     ) -> None:
         self.machine = machine or paper_machine()
         self.admission = admission or BalanceAwareAdmission()
@@ -297,6 +382,9 @@ class QueryService:
         self.queue_capacity = queue_capacity
         self.max_inflight_fragments = max_inflight_fragments
         self.timeline_bucket = timeline_bucket
+        self.retry = retry
+        self.breaker = breaker
+        self.degradations = tuple(degradations or ())
 
     def run(
         self, submissions: Sequence[ServiceSubmission]
@@ -310,11 +398,16 @@ class QueryService:
             admission=self.admission,
             queue_capacity=self.queue_capacity,
             max_inflight_fragments=self.max_inflight_fragments,
+            retry=self.retry,
+            breaker=self.breaker,
         )
         pooled = [task for s in submissions for task in s.tasks]
-        schedule = FluidSimulator(self.machine).run(pooled, gate)
+        simulator = FluidSimulator(
+            self.machine, degradations=self.degradations or None
+        )
+        schedule = simulator.run(pooled, gate)
         outcomes = self._collect(submissions, gate, schedule)
-        metrics = self._digest(outcomes, schedule)
+        metrics = self._digest(outcomes, schedule, gate)
         return ServiceResult(
             admission_name=self.admission.name,
             outcomes=outcomes,
@@ -366,6 +459,7 @@ class QueryService:
         self,
         outcomes: list[SubmissionOutcome],
         schedule: ScheduleResult,
+        gate: AdmissionGate,
     ) -> ServiceMetrics:
         tenants: dict[str, TenantMetrics] = {}
         for outcome in outcomes:
@@ -374,6 +468,7 @@ class QueryService:
                 submission.tenant, TenantMetrics(tenant=submission.tenant)
             )
             tm.offered += 1
+            tm.retries += gate.retry_counts.get(submission.submission_id, 0)
             if outcome.status == "rejected":
                 tm.rejected += 1
             else:
@@ -396,4 +491,7 @@ class QueryService:
             cpu_utilization=schedule.cpu_utilization,
             io_utilization=schedule.io_utilization,
             utilization_timeline=timeline,
+            breaker_timeline=(
+                list(gate.breaker.timeline) if gate.breaker is not None else []
+            ),
         )

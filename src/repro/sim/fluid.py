@@ -21,13 +21,18 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
 
 from ..config import MachineConfig
 from ..core.balance import effective_bandwidth_mix
 from ..core.schedulers import Action, Adjust, SchedulingPolicy, Shed, Start
 from ..core.task import IOPattern, Task
 from ..errors import SimulationError
+
+if TYPE_CHECKING:  # imported lazily: repro.faults imports nothing from sim
+    from ..faults.injector import FaultLog
+    from ..faults.schedule import DiskDegradation
 
 #: Safety valve: a run issuing more events than this is considered hung.
 _MAX_EVENTS = 1_000_000
@@ -90,6 +95,8 @@ class ScheduleResult:
     machine: MachineConfig
     peak_memory: float = 0.0  # largest co-resident working set (bytes)
     shed_records: list[ShedRecord] = field(default_factory=list)
+    #: Fault-injection trace of the run (``None`` = healthy run).
+    fault_log: "FaultLog | None" = None
 
     @property
     def cpu_utilization(self) -> float:
@@ -126,6 +133,13 @@ class FluidSimulator:
             two signal latencies plus one page-processing time.
         use_effective_bandwidth: model the sequential/random bandwidth
             drop when streams interleave; off = nominal ``B`` always.
+        degradations: scheduled per-disk bandwidth degradation windows
+            (:class:`~repro.faults.schedule.DiskDegradation`).  The
+            fluid model has no per-disk queues, so a window scales the
+            array's aggregate bandwidth by its per-disk factor averaged
+            over the array; window edges become simulation events and
+            the measured machine is exposed to policies and to the
+            serving gate as ``state.effective_machine``.
     """
 
     def __init__(
@@ -134,6 +148,7 @@ class FluidSimulator:
         *,
         adjustment_overhead: float | None = None,
         use_effective_bandwidth: bool = True,
+        degradations: "Sequence[DiskDegradation] | None" = None,
     ) -> None:
         self.machine = machine
         if adjustment_overhead is None:
@@ -142,6 +157,38 @@ class FluidSimulator:
             raise SimulationError("adjustment_overhead must be >= 0")
         self.adjustment_overhead = adjustment_overhead
         self.use_effective_bandwidth = use_effective_bandwidth
+        self.degradations = tuple(degradations or ())
+        for window in self.degradations:
+            if window.disk >= machine.disks:
+                raise SimulationError(
+                    f"degradation names disk {window.disk} but the machine "
+                    f"has {machine.disks}"
+                )
+
+    def _multiplier_at(self, t: float) -> float:
+        """Array-wide bandwidth factor at time ``t`` (1.0 = healthy)."""
+        if not self.degradations:
+            return 1.0
+        per_disk = [1.0] * self.machine.disks
+        for window in self.degradations:
+            if window.start <= t < window.end:
+                per_disk[window.disk] *= window.factor
+        return sum(per_disk) / len(per_disk)
+
+    def _effective_machine(self, t: float) -> MachineConfig:
+        scale = self._multiplier_at(t)
+        if scale >= 1.0 - 1e-12:
+            return self.machine
+        disk = self.machine.disk
+        return replace(
+            self.machine,
+            disk=replace(
+                disk,
+                seq_ios_per_sec=disk.seq_ios_per_sec * scale,
+                almost_seq_ios_per_sec=disk.almost_seq_ios_per_sec * scale,
+                random_ios_per_sec=disk.random_ios_per_sec * scale,
+            ),
+        )
 
     # -- public API -------------------------------------------------------------
 
@@ -154,17 +201,22 @@ class FluidSimulator:
         io_served = 0.0
         peak_memory = 0.0
         for __ in range(_MAX_EVENTS):
+            state.effective_machine = self._effective_machine(state.clock)
             actions = policy.decide(state)
             adjustments += self._apply(state, actions)
             peak_memory = max(
                 peak_memory,
                 sum(r.task.memory_bytes for r in state.running_map.values()),
             )
-            if state.done():
+            if state.done() and policy.next_wakeup(state.clock) is None:
                 break
             # Rates under the current allocation.
             rates = self._rates(state)
             horizon = self._next_event_in(state, rates)
+            wakeup = policy.next_wakeup(state.clock)
+            if wakeup is not None:
+                wake_in = max(wakeup - state.clock, _EPS)
+                horizon = wake_in if horizon is None else min(horizon, wake_in)
             if horizon is None:
                 raise SimulationError(
                     "deadlock: pending tasks but the policy started nothing "

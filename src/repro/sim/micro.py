@@ -34,7 +34,15 @@ from dataclasses import dataclass, field
 from ..config import MachineConfig
 from ..core.schedulers import Adjust, SchedulingPolicy, Start
 from ..core.task import IOPattern, Task
-from ..errors import SimulationError
+from ..errors import ProtocolTimeoutError, SimulationError
+from ..faults.injector import FaultInjector
+from ..faults.schedule import (
+    DiskDegradation,
+    DiskStall,
+    FaultSchedule,
+    MessageFault,
+    SlaveCrash,
+)
 from ..storage.disk import Disk
 from .fluid import ScheduleResult, TaskRecord
 
@@ -191,6 +199,8 @@ class _Slave:
     busy: bool = False  # has an in-flight page (io or cpu)
     retired: bool = False
     paused: bool = False  # waiting for repartition (range protocol)
+    crashed: bool = False  # killed by fault injection; events are stale
+    inflight_page: int | None = None  # page (or key) currently being read
 
     def next_page(self) -> int | None:
         """Claim the next page under page partitioning."""
@@ -233,6 +243,10 @@ class _TaskRun:
     history: list[tuple[float, float]] = field(default_factory=list)
     adjusting: bool = False
     block_base: int = 0  # placement offset on the disks
+    adjust_epoch: int = 0  # stale-message guard for the protocol legs
+    #: Per-slave intervals harvested by a Figure-6 collect step, kept so
+    #: an aborted round can hand them back (or restart crashed strides).
+    harvest: dict[int, list[tuple[int, int]]] | None = None
 
     @property
     def remaining_seq_time(self) -> float:
@@ -266,6 +280,14 @@ class MicroSimulator:
             the policy every so many simulated seconds (a master tick),
             not only at start/arrival/completion events.  Lets policies
             adjust mid-task.
+        faults: a fault schedule injected into the event loop (disk
+            degradation and stalls, slave crashes, dropped/delayed
+            protocol messages); ``None`` runs a healthy machine.
+        fault_seed: seeds the injector's crash-target RNG.
+        adjust_timeout: simulated seconds the master waits for an
+            adjustment round before aborting it (recorded as a
+            :class:`~repro.errors.ProtocolTimeoutError` event in the
+            fault log, never raised — the run continues).
     """
 
     def __init__(
@@ -274,6 +296,9 @@ class MicroSimulator:
         *,
         seed: int = 0,
         consult_interval: float | None = None,
+        faults: FaultSchedule | None = None,
+        fault_seed: int = 0,
+        adjust_timeout: float = 0.5,
     ) -> None:
         from dataclasses import replace
 
@@ -285,19 +310,31 @@ class MicroSimulator:
         )
         if consult_interval is not None and consult_interval <= 0:
             raise SimulationError("consult_interval must be positive")
+        if adjust_timeout <= 0:
+            raise SimulationError("adjust_timeout must be positive")
         self.machine = flattened
         self.seed = seed
         self.consult_interval = consult_interval
+        self.faults = faults
+        self.fault_seed = fault_seed
+        self.adjust_timeout = adjust_timeout
 
     def run(self, specs: list[ScanSpec], policy: SchedulingPolicy) -> ScheduleResult:
         """Simulate the scan specs under ``policy`` until all complete."""
         policy.reset()
+        injector = (
+            FaultInjector(self.faults, seed=self.fault_seed)
+            if self.faults is not None
+            else None
+        )
         engine = _MicroEngine(
             self.machine,
             specs,
             policy,
             seed=self.seed,
             consult_interval=self.consult_interval,
+            injector=injector,
+            adjust_timeout=self.adjust_timeout,
         )
         return engine.run()
 
@@ -311,6 +348,8 @@ class _MicroEngine:
         *,
         seed: int,
         consult_interval: float | None = None,
+        injector: FaultInjector | None = None,
+        adjust_timeout: float = 0.5,
     ) -> None:
         import random
 
@@ -342,6 +381,17 @@ class _MicroEngine:
         self._arrival_armed = False
         self._consult_interval = consult_interval
         self._orders: dict[int, list[int]] = {}
+        # fault injection
+        self.injector = injector
+        self.adjust_timeout = adjust_timeout
+        #: Measured per-disk health: EWMA of (nominal service time /
+        #: observed service time) per served request.  1.0 = healthy.
+        self._measured_mult = [1.0] * machine.disks
+        self._stall_armed = [False] * machine.disks
+        if injector is not None:
+            injector.schedule.validate_against(machine.disks)
+            for fault in injector.schedule:
+                self._arm_fault(fault)
         for i, spec in enumerate(specs):
             task = spec.to_task(machine)
             if spec.arrival_time <= 0:
@@ -367,19 +417,24 @@ class _MicroEngine:
         heapq.heappush(self._events, (self.clock + delay, next(self._seq), callback))
 
     def _master_tick(self) -> None:
-        if not self.running and not self._pending and not self._arrivals:
+        if self._finished():
             return
         self._consult_policy()
         assert self._consult_interval is not None
         self._schedule(self._consult_interval, self._master_tick)
+
+    def _finished(self) -> bool:
+        return not self.running and not self._pending and not self._arrivals
 
     def run(self) -> ScheduleResult:
         self._arm_arrival()
         if self._consult_interval is not None:
             self._schedule(self._consult_interval, self._master_tick)
         self._consult_policy()
-        for __ in range(_MAX_EVENTS):
-            if not self._events:
+        for event_count in range(_MAX_EVENTS):
+            # Stop at the last completion, not at the last armed fault:
+            # remaining injector events must not stretch the clock.
+            if not self._events or self._finished():
                 break
             time, __seq, callback = heapq.heappop(self._events)
             if time < self.clock - _EPS:
@@ -387,13 +442,26 @@ class _MicroEngine:
             self.clock = max(self.clock, time)
             callback()
         else:
-            raise SimulationError("micro simulation exceeded the event budget")
-        if self.running or self.pending or self._arrivals:
+            progress = ", ".join(
+                f"{r.task.name} {r.pages_done}/{r.spec.n_pages}p x={r.parallelism}"
+                + (" adjusting" if r.adjusting else "")
+                for r in self.running.values()
+            )
+            raise SimulationError(
+                f"micro simulation exceeded the event budget "
+                f"({_MAX_EVENTS} events) at t={self.clock:.3f}s; "
+                f"pending={[t.name for t in self._pending]}; "
+                f"running=[{progress or 'none'}]"
+            )
+        if not self._finished():
             raise SimulationError(
                 "micro simulation stalled: "
                 f"running={list(self.running)}, pending={[t.name for t in self._pending]}"
             )
         elapsed = self.clock
+        if self.injector is not None:
+            log = self.injector.log
+            log.record(elapsed, "done", f"{len(self.records)} tasks complete")
         return ScheduleResult(
             policy_name=self.policy.name,
             elapsed=elapsed,
@@ -403,7 +471,142 @@ class _MicroEngine:
             io_served=float(self.io_count),
             machine=self.machine,
             peak_memory=self.peak_memory,
+            fault_log=self.injector.log if self.injector is not None else None,
         )
+
+    # -- fault injection ---------------------------------------------------------
+
+    def _arm_fault(self, fault: object) -> None:
+        """Register one scheduled fault's timed transitions (at t=0)."""
+        injector = self.injector
+        assert injector is not None
+        if isinstance(fault, DiskDegradation):
+            self._schedule(
+                fault.start, lambda: injector.begin_degradation(fault, self.clock)
+            )
+            self._schedule(
+                fault.end, lambda: injector.end_degradation(fault, self.clock)
+            )
+        elif isinstance(fault, DiskStall):
+            def stall() -> None:
+                injector.begin_stall(fault, self.clock)
+
+            self._schedule(fault.at, stall)
+        elif isinstance(fault, SlaveCrash):
+            self._schedule(fault.at, lambda: self._inject_crash(fault))
+        elif isinstance(fault, MessageFault):
+            pass  # consumed lazily by _send_protocol_leg
+        else:  # pragma: no cover - schedule validation catches this
+            raise SimulationError(f"unknown fault {fault!r}")
+
+    def _observe_disk(self, disk_id: int, multiplier: float) -> None:
+        """Fold one served request's health ratio into the disk estimate."""
+        old = self._measured_mult[disk_id]
+        self._measured_mult[disk_id] = 0.7 * old + 0.3 * multiplier
+
+    def effective_machine(self) -> MachineConfig:
+        """The machine as currently *measured*, not as configured.
+
+        Scales the disk profile by the mean per-disk health estimate so
+        ``io_bandwidth`` tracks what the degraded array actually
+        delivers; degradation-aware policies recompute balance points
+        against this instead of the static ``MachineConfig.B``.
+        """
+        from dataclasses import replace
+
+        scale = sum(self._measured_mult) / len(self._measured_mult)
+        if abs(scale - 1.0) < 1e-9:
+            return self.machine
+        scale = max(scale, 0.05)
+        disk = self.machine.disk
+        return replace(
+            self.machine,
+            disk=replace(
+                disk,
+                seq_ios_per_sec=disk.seq_ios_per_sec * scale,
+                almost_seq_ios_per_sec=disk.almost_seq_ios_per_sec * scale,
+                random_ios_per_sec=disk.random_ios_per_sec * scale,
+            ),
+        )
+
+    def _inject_crash(self, fault: SlaveCrash) -> None:
+        injector = self.injector
+        assert injector is not None
+        runs = sorted(self.running.values(), key=lambda r: r.task.task_id)
+        if fault.task is not None:
+            runs = [r for r in runs if r.task.name == fault.task]
+        if not runs:
+            injector.log.record(
+                self.clock, "no-op", "crash fault found no running task"
+            )
+            return
+        run = runs[0] if fault.task is not None else runs[injector.rng.randrange(len(runs))]
+        active = [
+            s
+            for s in sorted(run.slaves.values(), key=lambda s: s.slave_id)
+            if not s.retired
+        ]
+        if not active:
+            injector.log.record(
+                self.clock, "no-op", f"{run.task.name}: no live slave to crash"
+            )
+            return
+        if fault.slave_index is not None:
+            slave = active[fault.slave_index % len(active)]
+        else:
+            slave = active[injector.rng.randrange(len(active))]
+        self._crash_slave(run, slave)
+
+    def _crash_slave(self, run: _TaskRun, slave: _Slave) -> None:
+        """Kill one slave; the master restarts its stride so no page is lost.
+
+        The crashed slave's unclaimed pages (and its in-flight page,
+        which never completed) move to a fresh replacement slave.  Any
+        events still referencing the dead slave are ignored when they
+        fire, and its queued requests are dropped before dispatch.
+        """
+        injector = self.injector
+        assert injector is not None
+        slave.crashed = True
+        slave.retired = True
+        injector.log.crashes += 1
+        injector.log.record(
+            self.clock,
+            "crash",
+            f"{run.task.name}: slave {slave.slave_id} died"
+            + (
+                f" holding page {slave.inflight_page}"
+                if slave.busy and slave.inflight_page is not None
+                else ""
+            ),
+        )
+        replacement = _Slave(slave_id=run.next_slave_id)
+        run.next_slave_id += 1
+        inflight = slave.inflight_page if slave.busy else None
+        if run.spec.partitioning == "page":
+            if inflight is not None:
+                injector.log.pages_reread += 1
+                replacement.segments.append(
+                    _Segment(lo=inflight, hi=inflight, stride=1, residue=0)
+                )
+            replacement.segments.extend(slave.segments)
+            # After re-reading the in-flight page the replacement's
+            # cursor lands exactly on the dead slave's cursor, so the
+            # inherited segments resume where the stride stopped.
+            replacement.cursor = 0 if inflight is not None else slave.cursor
+        else:
+            if inflight is not None:
+                injector.log.pages_reread += 1
+                replacement.intervals.append((inflight, inflight))
+            # Intervals already harvested by an in-flight Figure-6
+            # round stay with the master (run.harvest): they are
+            # redistributed by the apply step or by the abort path.
+            replacement.intervals.extend(slave.remaining_intervals())
+        slave.segments = []
+        slave.intervals = []
+        run.slaves[replacement.slave_id] = replacement
+        self._slave_next(run, replacement)
+        self._maybe_complete(run)
 
     # -- policy interaction -----------------------------------------------------------
 
@@ -507,6 +710,7 @@ class _MicroEngine:
             self._maybe_complete(run)
             return
         slave.busy = True
+        slave.inflight_page = page
         disk_id, block = run.page_block(
             page, self.machine, self._orders[run.task.task_id]
         )
@@ -515,6 +719,11 @@ class _MicroEngine:
     def _maybe_complete(self, run: _TaskRun) -> None:
         if run.task.task_id not in self.running:
             return
+        if run.pages_done > run.spec.n_pages:
+            raise SimulationError(
+                f"{run.task.name}: processed {run.pages_done} of "
+                f"{run.spec.n_pages} pages — page conservation violated"
+            )
         if run.pages_done >= run.spec.n_pages and all(
             s.retired for s in run.slaves.values()
         ):
@@ -546,9 +755,27 @@ class _MicroEngine:
         almost-sequential beats random), FIFO within a class.  This is
         a simple SCAN/elevator policy.
         """
-        if self._disk_busy[disk_id] or not self._disk_queues[disk_id]:
+        if self._disk_busy[disk_id]:
             return
         queue = self._disk_queues[disk_id]
+        if self.injector is not None:
+            # Requests queued by since-crashed slaves are dropped unserved.
+            queue[:] = [entry for entry in queue if not entry[1].crashed]
+        if not queue:
+            return
+        if self.injector is not None:
+            until = self.injector.stalled_until(disk_id)
+            if until > self.clock + _EPS:
+                # Frozen: dispatch nothing, resume once when the stall ends.
+                if not self._stall_armed[disk_id]:
+                    self._stall_armed[disk_id] = True
+
+                    def resume() -> None:
+                        self._stall_armed[disk_id] = False
+                        self._dispatch_disk(disk_id)
+
+                    self._schedule(until - self.clock, resume)
+                return
         disk = self.disks[disk_id]
         rank = {"sequential": 0, "almost_sequential": 1, "random": 2}
         best_index = min(
@@ -556,12 +783,19 @@ class _MicroEngine:
         )
         run, slave, __, block = queue.pop(best_index)
         self._disk_busy[disk_id] = True
-        service = disk.service_time(block)
+        multiplier = (
+            1.0 if self.injector is None else self.injector.multiplier(disk_id)
+        )
+        service = disk.service_time(block, multiplier=multiplier)
+        if self.injector is not None:
+            self._observe_disk(disk_id, multiplier)
         self.io_count += 1
 
         def io_done() -> None:
             self._disk_busy[disk_id] = False
             self._dispatch_disk(disk_id)
+            if slave.crashed:
+                return
             self._request_cpu(run, slave)
 
         self._schedule(service, io_done)
@@ -575,14 +809,22 @@ class _MicroEngine:
     def _dispatch_cpu(self) -> None:
         while self.free_processors > 0 and self._cpu_queue:
             run, slave = self._cpu_queue.pop(0)
+            if slave.crashed:
+                continue
             self.free_processors -= 1
             duration = run.spec.cpu_per_page
             self.cpu_busy_time += duration
 
             def cpu_done(run=run, slave=slave) -> None:
                 self.free_processors += 1
+                if slave.crashed:
+                    # The page dies with the slave; its replacement
+                    # re-reads it, so do not count it done here.
+                    self._dispatch_cpu()
+                    return
                 run.pages_done += 1
                 slave.busy = False
+                slave.inflight_page = None
                 self._slave_next(run, slave)
                 self._dispatch_cpu()
                 self._maybe_complete(run)
@@ -600,71 +842,158 @@ class _MicroEngine:
             return
         run.adjusting = True
         self.adjustments += 1
+        epoch = run.adjust_epoch
         delta = self.machine.signal_latency
         # Leg 1: master -> slaves (signal); leg 2: slaves -> master
         # (curpage / intervals); leg 3: master -> slaves (maxpage + n').
         if run.spec.partitioning == "page":
-            self._schedule(2 * delta, lambda: self._collect_maxpage(run, n_new))
+            self._send(2 * delta, lambda: self._collect_maxpage(run, n_new, epoch))
         else:
-            self._schedule(2 * delta, lambda: self._collect_intervals(run, n_new))
+            self._send(2 * delta, lambda: self._collect_intervals(run, n_new, epoch))
+        if self.injector is not None:
+            # Only a faulted run can hang a round, and arming the timer
+            # on healthy runs would perturb their event traces.
+            self._schedule(
+                self.adjust_timeout, lambda: self._adjust_deadline(run, epoch)
+            )
 
-    def _collect_maxpage(self, run: _TaskRun, n_new: int) -> None:
+    def _send(self, delay: float, callback) -> None:
+        """One protocol leg; the injector may drop or delay it."""
+        if self.injector is not None:
+            fate, extra = self.injector.message_fate(self.clock)
+            if fate == "drop":
+                return  # never delivered; the round hangs until timeout
+            delay += extra
+        self._schedule(delay, callback)
+
+    def _stale(self, run: _TaskRun, epoch: int) -> bool:
+        """Is a protocol leg from an aborted (timed-out) round arriving?"""
+        return not run.adjusting or run.adjust_epoch != epoch
+
+    def _adjust_deadline(self, run: _TaskRun, epoch: int) -> None:
+        """Abort a hung adjustment round instead of wedging the run.
+
+        Harvested range intervals are handed back to their owners —
+        or restarted on fresh slaves when the owner crashed mid-round —
+        so page conservation survives the abort.  The policy is then
+        consulted again and typically re-issues the adjustment.
+        """
+        if self._stale(run, epoch) or run.task.task_id not in self.running:
+            return  # the round completed (or the task did) in time
+        injector = self.injector
+        assert injector is not None
+        run.adjust_epoch += 1
+        run.adjusting = False
+        log = injector.log
+        log.adjust_timeouts += 1
+        log.adjust_aborts += 1
+        error = ProtocolTimeoutError(run.task.name, self.adjust_timeout)
+        log.record(self.clock, "timeout", str(error))
+        harvest, run.harvest = run.harvest, None
+        if harvest:
+            for slave_id, intervals in sorted(harvest.items()):
+                if not intervals:
+                    continue
+                owner = run.slaves.get(slave_id)
+                if owner is None or owner.retired:
+                    # The stride's owner died mid-round: restart it on a
+                    # fresh slave so its keys are not lost.
+                    owner = _Slave(slave_id=run.next_slave_id)
+                    run.next_slave_id += 1
+                    run.slaves[owner.slave_id] = owner
+                owner.intervals.extend(intervals)
+        for slave in sorted(run.slaves.values(), key=lambda s: s.slave_id):
+            slave.paused = False
+            if not slave.retired and not slave.busy:
+                self._slave_next(run, slave)
+        self._maybe_complete(run)
+        self._consult_policy()
+
+    def _collect_maxpage(self, run: _TaskRun, n_new: int, epoch: int) -> None:
         """Figure 5: compute maxpage from slave cursors, broadcast."""
-        cursors = [s.cursor for s in run.slaves.values() if not s.retired]
+        if self._stale(run, epoch):
+            return
+        # Retired slaves report their *final* cursor: a stride that
+        # already ran to completion must keep its pages claimed, or the
+        # new strides would re-cover (double-process) them.
+        cursors = [s.cursor for s in run.slaves.values()]
         maxpage = max(cursors) if cursors else run.spec.n_pages
         delta = self.machine.signal_latency
-        self._schedule(delta, lambda: self._apply_page_adjustment(run, n_new, maxpage))
+        self._send(
+            delta, lambda: self._apply_page_adjustment(run, n_new, maxpage, epoch)
+        )
 
-    def _apply_page_adjustment(self, run: _TaskRun, n_new: int, maxpage: int) -> None:
+    def _apply_page_adjustment(
+        self, run: _TaskRun, n_new: int, maxpage: int, epoch: int
+    ) -> None:
+        if self._stale(run, epoch):
+            return
         spec = run.spec
         last = spec.n_pages - 1
-        for slave in run.slaves.values():
-            if slave.retired:
-                continue
+        # Slaves keep reading between reporting curpage and receiving
+        # maxpage (the paper assumes that window is negligible; a
+        # delayed leg makes it real).  The switch must not place the
+        # boundary below any slave's current position, or the new
+        # strides would re-cover pages processed during the window.
+        maxpage = max([maxpage] + [s.cursor for s in run.slaves.values()])
+        survivors = [
+            s
+            for s in sorted(run.slaves.values(), key=lambda s: s.slave_id)
+            if not s.retired
+        ]
+        for slave in survivors:
             # Clamp the old stride at maxpage - 1 ("all the pages
-            # before maxpage"), then continue with the new stride.
-            new_segments: list[_Segment] = []
-            for seg in slave.segments:
-                if seg.lo <= maxpage - 1:
-                    new_segments.append(
-                        _Segment(seg.lo, min(seg.hi, maxpage - 1), seg.stride, seg.residue)
-                    )
-            if slave.slave_id < n_new and maxpage <= last:
-                new_segments.append(
-                    _Segment(maxpage, last, n_new, slave.slave_id % n_new)
-                )
-            slave.segments = new_segments
-            if not slave.busy:
+            # before maxpage"); the new strides start at maxpage.
+            slave.segments = [
+                _Segment(seg.lo, min(seg.hi, maxpage - 1), seg.stride, seg.residue)
+                for seg in slave.segments
+                if seg.lo <= maxpage - 1
+            ]
+        # The n' new strides go to the lowest-id survivors by *rank*
+        # (survivors beyond n' finish their clamped strides and
+        # retire).  Missing owners are fresh slaves whose ids come
+        # from next_slave_id — never an id recycled from a retired or
+        # crash-replaced slave, which would clobber its slot in
+        # run.slaves while the orphaned object kept claiming pages.
+        owners = survivors[:n_new]
+        if maxpage <= last:
+            while len(owners) < n_new:
+                slave = _Slave(slave_id=run.next_slave_id)
+                run.next_slave_id += 1
+                run.slaves[slave.slave_id] = slave
+                owners.append(slave)
+            for residue, slave in enumerate(owners):
+                slave.segments.append(_Segment(maxpage, last, n_new, residue))
+        for slave in run.slaves.values():
+            if not slave.retired and not slave.busy:
                 self._slave_next(run, slave)
-        # New slaves join for residues not owned by surviving slaves.
-        existing = {s.slave_id for s in run.slaves.values() if not s.retired}
-        for i in range(n_new):
-            if i in existing or maxpage > last:
-                continue
-            slave = _Slave(slave_id=i)
-            slave.segments.append(_Segment(maxpage, last, n_new, i))
-            run.slaves[i] = slave
-            self._slave_next(run, slave)
         run.parallelism = n_new
+        run.adjust_epoch += 1
         run.adjusting = False
         run.history.append((self.clock, float(n_new)))
         self._maybe_complete(run)
 
-    def _collect_intervals(self, run: _TaskRun, n_new: int) -> None:
+    def _collect_intervals(self, run: _TaskRun, n_new: int, epoch: int) -> None:
         """Figure 6: gather remaining intervals, repartition, resume."""
+        if self._stale(run, epoch):
+            return
+        harvest: dict[int, list[tuple[int, int]]] = {}
         remaining: list[tuple[int, int]] = []
         for slave in run.slaves.values():
             if slave.retired:
                 continue
-            remaining.extend(slave.remaining_intervals())
+            got = slave.remaining_intervals()
+            harvest[slave.slave_id] = got
+            remaining.extend(got)
             slave.intervals = []
             slave.paused = True
+        run.harvest = harvest
         remaining.sort()
         total = sum(hi - lo + 1 for lo, hi in remaining)
         delta = self.machine.signal_latency
-        self._schedule(
+        self._send(
             delta,
-            lambda: self._apply_range_adjustment(run, n_new, remaining, total),
+            lambda: self._apply_range_adjustment(run, n_new, remaining, total, epoch),
         )
 
     def _apply_range_adjustment(
@@ -673,7 +1002,11 @@ class _MicroEngine:
         n_new: int,
         remaining: list[tuple[int, int]],
         total: int,
+        epoch: int,
     ) -> None:
+        if self._stale(run, epoch):
+            return
+        run.harvest = None
         # Deal out near-equal shares of the remaining keys; a slave may
         # receive several intervals (the paper allows this).
         shares: list[list[tuple[int, int]]] = [[] for __ in range(n_new)]
@@ -692,24 +1025,33 @@ class _MicroEngine:
                     shares[i].append((lo, lo + take - 1))
                     quota[i] -= take
                     lo += take
-        survivors = {s.slave_id: s for s in run.slaves.values() if not s.retired}
-        for i in range(n_new):
-            slave = survivors.get(i)
-            if slave is None:
-                slave = _Slave(slave_id=i)
-                run.slaves[i] = slave
-            slave.intervals = shares[i]
-            slave.paused = False
-            if not slave.busy:
-                self._slave_next(run, slave)
+        # Shares go to the n' lowest-id survivors by *rank*; missing
+        # owners are fresh slaves whose ids come from next_slave_id,
+        # never a recycled id that would clobber another slave's slot
+        # in run.slaves (see _apply_page_adjustment).  A crash
+        # replacement spawned mid-round was never harvested: extending
+        # keeps its re-read singleton alongside the new share instead
+        # of overwriting (losing) it.
+        survivors = sorted(
+            (s for s in run.slaves.values() if not s.retired),
+            key=lambda s: s.slave_id,
+        )
+        owners = survivors[:n_new]
+        while len(owners) < n_new:
+            slave = _Slave(slave_id=run.next_slave_id)
+            run.next_slave_id += 1
+            run.slaves[slave.slave_id] = slave
+            owners.append(slave)
+        for share, slave in zip(shares, owners):
+            slave.intervals.extend(share)
         # Surviving slaves beyond n' got no intervals: they retire when
         # their in-flight page finishes (next _slave_next call).
-        for slave_id, slave in survivors.items():
-            if slave_id >= n_new:
-                slave.paused = False
-                if not slave.busy:
-                    self._slave_next(run, slave)
+        for slave in run.slaves.values():
+            slave.paused = False
+            if not slave.retired and not slave.busy:
+                self._slave_next(run, slave)
         run.parallelism = n_new
+        run.adjust_epoch += 1
         run.adjusting = False
         run.history.append((self.clock, float(n_new)))
         self._maybe_complete(run)
@@ -737,3 +1079,9 @@ class _PolicyState:
     @property
     def completed_ids(self) -> set[int]:
         return self._engine.completed_ids
+
+    @property
+    def effective_machine(self) -> MachineConfig:
+        """The machine as measured (degradation included), for
+        bandwidth-aware policies; equals ``machine`` when healthy."""
+        return self._engine.effective_machine()

@@ -16,7 +16,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator
 
-from ..errors import IndexError_
+from ..errors import BTreeError
 from .heap import RecordId
 
 DEFAULT_ORDER = 64
@@ -55,7 +55,7 @@ class BTreeIndex:
 
     def __init__(self, *, order: int = DEFAULT_ORDER) -> None:
         if order < 3:
-            raise IndexError_("B+tree order must be >= 3")
+            raise BTreeError("B+tree order must be >= 3")
         self.order = order
         self._root: _Node = _Leaf()
         self._height = 1
@@ -90,7 +90,7 @@ class BTreeIndex:
     def insert(self, key: Any, rid: RecordId) -> None:
         """Add one entry; duplicates of ``key`` accumulate."""
         if key is None:
-            raise IndexError_("cannot index NULL keys")
+            raise BTreeError("cannot index NULL keys")
         split = self._insert(self._root, key, rid)
         if split is not None:
             sep, right = split
@@ -215,7 +215,7 @@ class BTreeIndex:
             leaf = leaf.next
 
     def check_invariants(self) -> None:
-        """Verify structural invariants; raises IndexError_ on violation.
+        """Verify structural invariants; raises BTreeError on violation.
 
         Used by property-based tests: key ordering within and across
         leaves, node occupancy bounds, and uniform leaf depth.
@@ -223,28 +223,28 @@ class BTreeIndex:
         depths: set[int] = set()
         self._check(self._root, None, None, 1, depths, is_root=True)
         if len(depths) != 1:
-            raise IndexError_(f"leaves at mixed depths: {sorted(depths)}")
+            raise BTreeError(f"leaves at mixed depths: {sorted(depths)}")
         flat = list(self.keys())
         if flat != sorted(flat):
-            raise IndexError_("leaf chain is not globally sorted")
+            raise BTreeError("leaf chain is not globally sorted")
 
     def _check(self, node, low, high, depth, depths, *, is_root):
         if node.keys != sorted(node.keys):
-            raise IndexError_("node keys out of order")
+            raise BTreeError("node keys out of order")
         if not is_root and len(node.keys) > self.order:
-            raise IndexError_("node overflow")
+            raise BTreeError("node overflow")
         for key in node.keys:
             if low is not None and key < low:
-                raise IndexError_("key below subtree lower bound")
+                raise BTreeError("key below subtree lower bound")
             if high is not None and key >= high:
-                raise IndexError_("key above subtree upper bound")
+                raise BTreeError("key above subtree upper bound")
         if isinstance(node, _Leaf):
             depths.add(depth)
             if len(node.keys) != len(node.values):
-                raise IndexError_("leaf keys/values length mismatch")
+                raise BTreeError("leaf keys/values length mismatch")
             return
         if len(node.children) != len(node.keys) + 1:
-            raise IndexError_("internal fan-out mismatch")
+            raise BTreeError("internal fan-out mismatch")
         bounds = [low, *node.keys, high]
         for i, child in enumerate(node.children):
             self._check(child, bounds[i], bounds[i + 1], depth + 1, depths, is_root=False)

@@ -101,12 +101,20 @@ class Disk:
         """Regime of a request for ``block`` given the stream memory."""
         return self._match(block)[0]
 
-    def service_time(self, block: int) -> float:
+    def service_time(self, block: int, *, multiplier: float = 1.0) -> float:
         """Service one request; returns its service time in seconds.
 
         Updates the stream memory, the per-regime counters and the
         accumulated busy time.
+
+        Args:
+            block: requested block number.
+            multiplier: current bandwidth factor of this disk (fault
+                injection: a disk at 50% bandwidth doubles every
+                service time).  1.0 models a healthy disk.
         """
+        if multiplier <= 0:
+            raise ConfigError("multiplier must be positive")
         regime, index = self._match(block)
         if regime == "sequential":
             self.counters.sequential += 1
@@ -117,6 +125,7 @@ class Disk:
         else:
             self.counters.random += 1
             t = 1.0 / self.profile.random_ios_per_sec
+        t /= multiplier
         if index is not None:
             self._streams.pop(index)
         self._streams.append(block)

@@ -1,0 +1,128 @@
+"""Tests for the admission-gate circuit breaker state machine."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def _breaker(**kwargs):
+    defaults = dict(
+        failure_threshold=3,
+        cooldown=10.0,
+        degraded_fraction=0.6,
+        degraded_grace=5.0,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(FaultError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(FaultError):
+            CircuitBreaker(cooldown=0.0)
+        with pytest.raises(FaultError):
+            CircuitBreaker(degraded_fraction=0.0)
+        with pytest.raises(FaultError):
+            CircuitBreaker(degraded_grace=-1.0)
+
+
+class TestReactiveTrip:
+    def test_opens_after_consecutive_failures(self):
+        breaker = _breaker()
+        for t in (1.0, 2.0):
+            breaker.record_failure(t)
+            assert breaker.state == CLOSED
+        breaker.record_failure(3.0)
+        assert breaker.state == OPEN
+
+    def test_success_resets_the_streak(self):
+        breaker = _breaker()
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        breaker.record_success(2.5)
+        breaker.record_failure(3.0)
+        breaker.record_failure(4.0)
+        assert breaker.state == CLOSED
+
+    def test_open_rejects_until_cooldown(self):
+        breaker = _breaker()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert not breaker.allow(5.0)
+        assert not breaker.allow(12.9)
+        assert breaker.open_rejections == 2
+        # Cooldown over: half-open, exactly one probe allowed.
+        assert breaker.allow(13.1)
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(13.2)
+
+    def test_probe_success_closes(self):
+        breaker = _breaker()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(14.0)
+        breaker.record_success(14.5)
+        assert breaker.state == CLOSED
+        assert breaker.allow(14.6)
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker = _breaker()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(14.0)
+        breaker.record_failure(14.5)
+        assert breaker.state == OPEN
+        assert not breaker.allow(20.0)
+        assert breaker.allow(24.6)  # 14.5 + 10s cooldown passed
+
+
+class TestProactiveTrip:
+    def test_sustained_degradation_opens(self):
+        breaker = _breaker()
+        breaker.observe_bandwidth(0.0, 0.5)
+        assert breaker.state == CLOSED
+        breaker.observe_bandwidth(4.0, 0.5)
+        assert breaker.state == CLOSED  # grace not yet elapsed
+        breaker.observe_bandwidth(5.5, 0.5)
+        assert breaker.state == OPEN
+
+    def test_recovery_clears_the_grace_clock(self):
+        breaker = _breaker()
+        breaker.observe_bandwidth(0.0, 0.5)
+        breaker.observe_bandwidth(3.0, 0.9)  # healthy again
+        breaker.observe_bandwidth(4.0, 0.5)
+        breaker.observe_bandwidth(8.0, 0.5)  # only 4s into the new streak
+        assert breaker.state == CLOSED
+
+    def test_healthy_fraction_never_trips(self):
+        breaker = _breaker()
+        for t in range(100):
+            breaker.observe_bandwidth(float(t), 0.95)
+        assert breaker.state == CLOSED
+
+
+class TestTimeline:
+    def test_transitions_are_recorded(self):
+        breaker = _breaker()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        breaker.allow(14.0)
+        breaker.record_success(14.5)
+        assert breaker.timeline == [
+            (0.0, CLOSED),
+            (3.0, OPEN),
+            (14.0, HALF_OPEN),
+            (14.5, CLOSED),
+        ]
+
+    def test_reset_restores_fresh_state(self):
+        breaker = _breaker()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.timeline == [(0.0, CLOSED)]
+        assert breaker.open_rejections == 0

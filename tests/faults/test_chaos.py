@@ -1,0 +1,52 @@
+"""Tests for the chaos harness (``repro.faults.chaos``)."""
+
+import pytest
+
+from repro.config import paper_machine
+from repro.errors import FaultError
+from repro.faults.chaos import ChaosReport, chaos_workload, run_chaos
+from repro.faults.schedule import FaultSchedule, SlaveCrash
+
+
+class TestChaosWorkload:
+    def test_standard_shape(self):
+        specs = chaos_workload(paper_machine())
+        assert [s.name for s in specs] == ["io0", "cpu0", "rnd0"]
+        assert specs[2].partitioning == "range"
+
+    def test_scale_shrinks_but_keeps_a_floor(self):
+        machine = paper_machine()
+        tiny = chaos_workload(machine, scale=0.001)
+        assert all(s.n_pages >= 8 for s in tiny)
+        with pytest.raises(FaultError):
+            chaos_workload(machine, scale=0.0)
+
+
+@pytest.mark.chaos
+class TestRunChaos:
+    def test_preset_run_tolerates_and_reports(self):
+        report = run_chaos(preset="mixed", seed=0, scale=0.2)
+        assert isinstance(report, ChaosReport)
+        assert report.ok
+        assert report.wedged_adjustments == 0
+        assert report.log.faults_injected >= 1
+        assert report.faulted.elapsed >= report.healthy.elapsed
+        lines = report.to_lines()
+        assert lines[0].startswith("chaos seed=0")
+        assert lines[-1].startswith("verdict: OK")
+        assert any("counters:" in line for line in lines)
+
+    def test_explicit_schedule_bypasses_presets(self):
+        schedule = FaultSchedule((SlaveCrash(at=0.5, task="cpu0"),))
+        report = run_chaos(schedule=schedule, seed=1, scale=0.2)
+        assert report.schedule is schedule
+        assert report.ok
+        assert report.log.crashes == 1
+        assert report.log.pages_reread <= 1
+
+    def test_slowdown_is_relative_to_healthy(self):
+        report = run_chaos(preset="slow-disk", seed=0, scale=0.2)
+        assert report.slowdown == pytest.approx(
+            report.faulted.elapsed / report.healthy.elapsed
+        )
+        assert report.slowdown > 1.0

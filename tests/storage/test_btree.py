@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import IndexError_
+from repro.errors import BTreeError
 from repro.storage import BTreeIndex, RecordId
 
 
@@ -34,7 +34,7 @@ class TestBasics:
         assert len(tree) == 11
 
     def test_null_key_rejected(self, tree):
-        with pytest.raises(IndexError_):
+        with pytest.raises(BTreeError):
             tree.insert(None, rid(0))
 
     def test_keys_sorted(self, tree):
@@ -112,7 +112,7 @@ class TestInvariants:
         assert got == expected
 
     def test_bad_order_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(BTreeError):
             BTreeIndex(order=2)
 
     def test_large_sequential_load(self):

@@ -1,5 +1,9 @@
 """Tests for the ``python -m repro`` CLI."""
 
+import json
+
+import pytest
+
 from repro.__main__ import EXIT_REPRO_ERROR, EXIT_USAGE, main
 
 
@@ -84,3 +88,50 @@ class TestCli:
         out = capsys.readouterr().out
         assert "latency-vs-throughput knee" in out
         assert "0.60" in out
+
+
+@pytest.mark.chaos
+class TestChaosCommand:
+    def test_chaos_smoke_exits_zero_on_tolerated_faults(self, capsys):
+        assert main(["chaos", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+        assert "fault log:" in out
+        assert "adjust aborts" in out
+
+    def test_chaos_preset_choices_are_validated(self, capsys):
+        assert main(["chaos", "--preset", "earthquake"]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_chaos_schedule_file(self, capsys, tmp_path):
+        path = tmp_path / "sched.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "faults": [
+                        {
+                            "kind": "degrade",
+                            "disk": 0,
+                            "start": 0.5,
+                            "duration": 5.0,
+                            "factor": 0.5,
+                        },
+                        {"kind": "crash", "at": 1.0, "task": "io0"},
+                    ]
+                }
+            )
+        )
+        assert main(["chaos", "--smoke", "--schedule", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "faults=2 scheduled" in out
+        assert "verdict: OK" in out
+
+    def test_chaos_missing_schedule_exits_repro_error(self, capsys):
+        assert main(
+            ["chaos", "--schedule", "/no/such/file.json"]
+        ) == EXIT_REPRO_ERROR
+        assert "cannot read fault schedule" in capsys.readouterr().err
+
+    def test_chaos_random_schedule(self, capsys):
+        assert main(["chaos", "--smoke", "--random", "4", "--horizon", "3"]) == 0
+        assert "verdict: OK" in capsys.readouterr().out

@@ -4,11 +4,19 @@ import pytest
 
 from repro.errors import (
     AdmissionError,
+    BTreeError,
+    CircuitOpenError,
     ConfigError,
+    FaultError,
+    IndexError_,
+    ProtocolError,
+    ProtocolTimeoutError,
     ReproError,
+    RetryExhaustedError,
     SchedulingError,
     ServiceError,
     ServiceOverloadError,
+    StorageError,
 )
 
 
@@ -44,3 +52,42 @@ class TestAdmissionError:
         assert error.submission_id == 7
         assert "submission 7" in str(error)
         assert "no tasks" in str(error)
+
+
+class TestBTreeError:
+    def test_is_a_storage_error(self):
+        assert issubclass(BTreeError, StorageError)
+
+    def test_deprecated_alias_still_names_the_same_class(self):
+        # Old callers catching IndexError_ must keep working for one
+        # release while the shadow-pun name is phased out.
+        assert IndexError_ is BTreeError
+
+
+class TestProtocolTimeoutError:
+    def test_carries_task_and_timeout(self):
+        error = ProtocolTimeoutError("scan0", 0.5)
+        assert isinstance(error, ProtocolError)
+        assert error.task_name == "scan0"
+        assert error.timeout == 0.5
+        assert "scan0" in str(error)
+        assert "0.5s" in str(error)
+        assert "aborted" in str(error)
+
+
+class TestFaultErrors:
+    def test_fault_and_resilience_errors_are_repro_errors(self):
+        assert issubclass(FaultError, ReproError)
+        assert issubclass(RetryExhaustedError, ServiceError)
+        assert issubclass(CircuitOpenError, ServiceError)
+
+    def test_retry_exhausted_carries_attempts(self):
+        error = RetryExhaustedError(9, 4)
+        assert error.submission_id == 9
+        assert error.attempts == 4
+        assert "4 attempts" in str(error)
+
+    def test_circuit_open_carries_submission(self):
+        error = CircuitOpenError(3)
+        assert error.submission_id == 3
+        assert "breaker is open" in str(error)

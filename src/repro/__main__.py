@@ -10,6 +10,7 @@ Commands:
 * ``demo-sql``  — build a demo database and run a SQL statement.
 * ``serve``     — serving mode: open arrival stream + admission control.
 * ``chaos``     — run the simulator under an injected fault schedule.
+* ``perf``      — time the micro engine's pages/sec throughput.
 
 Exit codes: ``0`` success, ``1`` command-specific failure, ``2`` bad
 arguments (argparse usage errors), ``3`` a :class:`~repro.errors.ReproError`
@@ -239,6 +240,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench.perf import append_trajectory, run_perf, smoke_lines
+
+    if args.smoke:
+        # Byte-stable: simulated quantities only, never wall-clock.
+        lines = smoke_lines(seed=args.seed)
+        print("\n".join(lines))
+        if any(line.startswith("smoke failed") for line in lines):
+            return 1
+        return 0
+    report = run_perf(
+        tuple(args.tasks),
+        seed=args.seed,
+        max_pages=args.max_pages,
+        repeats=args.repeats,
+    )
+    print(report.to_table())
+    if args.json is not None:
+        path = Path(args.json)
+        count = append_trajectory(path, report.to_entry(args.label))
+        print(f"appended entry {count} to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -394,6 +421,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick deterministic run on a shrunken workload",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    perf = commands.add_parser(
+        "perf", help="time the micro engine's pages/sec throughput"
+    )
+    perf.add_argument(
+        "--tasks",
+        type=int,
+        nargs="+",
+        default=[10, 20, 40],
+        help="workload sizes (task counts) to time",
+    )
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument(
+        "--max-pages", type=int, default=2000, help="pages cap per task"
+    )
+    perf.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="wall-clock repetitions per case (best is kept)",
+    )
+    perf.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="append this run to a BENCH_PERF.json trajectory file",
+    )
+    perf.add_argument(
+        "--label",
+        default="local",
+        help="label of the --json trajectory entry",
+    )
+    perf.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick deterministic run, byte-stable output",
+    )
+    perf.set_defaults(func=_cmd_perf)
     return parser
 
 

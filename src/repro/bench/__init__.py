@@ -17,6 +17,7 @@ from .harness import (
     make_policies,
     run_figure7,
 )
+from .perf import PerfCase, PerfReport, run_case, run_perf
 from .report import format_bar_chart, format_table, percent
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "Figure7Cell",
     "Figure7Result",
     "POLICY_NAMES",
+    "PerfCase",
+    "PerfReport",
     "ScanMeasurement",
     "calibrate",
     "figure3",
@@ -39,6 +42,8 @@ __all__ = [
     "measure_scan",
     "percent",
     "render_gantt",
+    "run_case",
     "run_figure7",
+    "run_perf",
     "schedule_to_json",
 ]

@@ -1,0 +1,198 @@
+"""Engine throughput benchmark (``python -m repro perf``).
+
+The page-level micro simulator is the substrate under every figure
+experiment, the chaos runs and the serving-mode sweeps, so its
+pages-per-second throughput bounds everything above it.  This harness
+times the engine on fixed seeded workloads across task counts and
+reports simulated pages per wall-clock second; ``BENCH_PERF.json`` at
+the repository root records the measured trajectory (the fast-path
+overhaul's before/after numbers are its first entry).
+
+The workloads are deterministic (seeded RANDOM mixes under
+``InterWithAdjPolicy``), so a run's *simulated* outputs — pages, events,
+simulated elapsed — are byte-stable; only the wall-clock measurements
+vary between machines.  ``--smoke`` prints only the byte-stable part,
+which gives CI a cheap end-to-end check with comparable output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import paper_machine
+from ..core.schedulers import InterWithAdjPolicy
+from ..sim.micro import MicroSimulator
+from ..workloads import WorkloadConfig, WorkloadKind
+from ..workloads.mixes import generate_specs
+
+#: Task counts timed by a default ``python -m repro perf`` run.
+DEFAULT_TASK_COUNTS = (10, 20, 40)
+#: Pages cap per task for the default workloads.
+DEFAULT_MAX_PAGES = 2000
+#: Wall-clock repetitions per case; the best (minimum) time is kept,
+#: which is the standard way to suppress scheduler/allocator noise.
+DEFAULT_REPEATS = 5
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One timed workload.
+
+    Attributes:
+        n_tasks: number of tasks in the seeded workload.
+        pages: total simulated pages processed (deterministic).
+        events: heap events consumed by the engine run (deterministic).
+        sim_elapsed: simulated seconds the schedule took (deterministic).
+        wall_seconds: best wall-clock time over the repetitions.
+        pages_per_sec: ``pages / wall_seconds``.
+    """
+
+    n_tasks: int
+    pages: int
+    events: int
+    sim_elapsed: float
+    wall_seconds: float
+    pages_per_sec: float
+
+
+@dataclass
+class PerfReport:
+    """All timed cases of one harness invocation."""
+
+    seed: int
+    max_pages: int
+    repeats: int
+    cases: list[PerfCase] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        """Human-readable per-case throughput table."""
+        lines = [
+            f"micro-engine throughput (seed={self.seed}, "
+            f"max_pages={self.max_pages}, best of {self.repeats})",
+            f"{'tasks':>6} {'pages':>8} {'wall s':>9} {'pages/sec':>12}",
+        ]
+        for case in self.cases:
+            lines.append(
+                f"{case.n_tasks:>6} {case.pages:>8} "
+                f"{case.wall_seconds:>9.4f} {case.pages_per_sec:>12,.0f}"
+            )
+        return "\n".join(lines)
+
+    def to_entry(self, label: str) -> dict:
+        """One ``BENCH_PERF.json`` trajectory entry for this report."""
+        return {
+            "label": label,
+            "seed": self.seed,
+            "max_pages": self.max_pages,
+            "repeats": self.repeats,
+            "workloads": {
+                str(case.n_tasks): {
+                    "pages": case.pages,
+                    "wall_seconds": round(case.wall_seconds, 4),
+                    "pages_per_sec": round(case.pages_per_sec),
+                }
+                for case in self.cases
+            },
+        }
+
+
+def _case_workload(n_tasks: int, seed: int, max_pages: int):
+    """(machine, specs, policy) for one timed case."""
+    machine = paper_machine()
+    specs = generate_specs(
+        WorkloadKind.RANDOM,
+        seed=seed,
+        machine=machine,
+        config=WorkloadConfig(n_tasks=n_tasks, max_pages=max_pages),
+    )
+    return machine, specs, InterWithAdjPolicy(integral=True)
+
+
+def run_case(
+    n_tasks: int,
+    *,
+    seed: int = 0,
+    max_pages: int = DEFAULT_MAX_PAGES,
+    repeats: int = DEFAULT_REPEATS,
+) -> PerfCase:
+    """Time one seeded workload; wall time is the best of ``repeats``."""
+    machine, specs, policy = _case_workload(n_tasks, seed, max_pages)
+    pages = sum(spec.n_pages for spec in specs)
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        sim = MicroSimulator(machine, seed=seed)
+        start = time.perf_counter()
+        result = sim.run(specs, policy)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    return PerfCase(
+        n_tasks=n_tasks,
+        pages=pages,
+        # Two heap events per page (io done, cpu done) plus the
+        # policy-consult ticks; derived from the run, not assumed.
+        events=int(result.io_served) * 2,
+        sim_elapsed=result.elapsed,
+        wall_seconds=best,
+        pages_per_sec=pages / best if best > 0 else 0.0,
+    )
+
+
+def run_perf(
+    task_counts: tuple[int, ...] = DEFAULT_TASK_COUNTS,
+    *,
+    seed: int = 0,
+    max_pages: int = DEFAULT_MAX_PAGES,
+    repeats: int = DEFAULT_REPEATS,
+) -> PerfReport:
+    """Time the micro engine across ``task_counts`` seeded workloads."""
+    report = PerfReport(seed=seed, max_pages=max_pages, repeats=repeats)
+    for n_tasks in task_counts:
+        report.cases.append(
+            run_case(n_tasks, seed=seed, max_pages=max_pages, repeats=repeats)
+        )
+    return report
+
+
+def smoke_lines(*, seed: int = 0) -> list[str]:
+    """Byte-stable output of a tiny deterministic engine run.
+
+    Reports only simulated quantities (pages, ios, simulated elapsed),
+    never wall-clock, so two runs on different machines print the same
+    bytes — the property the CLI smoke contract requires.
+    """
+    machine, specs, policy = _case_workload(4, seed, 200)
+    result = MicroSimulator(machine, seed=seed).run(specs, policy)
+    pages = sum(spec.n_pages for spec in specs)
+    served = int(result.io_served)
+    lines = [
+        f"smoke: {len(specs)} tasks, {pages} pages, seed {seed}",
+        f"smoke: {served} ios served, simulated {result.elapsed:.4f}s "
+        f"under {result.policy_name}",
+    ]
+    if served != pages:
+        lines.append(
+            f"smoke failed: page conservation violated "
+            f"({served} ios served for {pages} pages)"
+        )
+    return lines
+
+
+def append_trajectory(path: Path, entry: dict) -> int:
+    """Append one entry to a ``BENCH_PERF.json`` trajectory file.
+
+    The file holds a JSON list of entries (oldest first); a missing
+    file starts a new trajectory.  Returns the new entry count.
+    """
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+        if not isinstance(trajectory, list):
+            raise ValueError(f"{path} does not hold a JSON list")
+    else:
+        trajectory = []
+    trajectory.append(entry)
+    path.write_text(json.dumps(trajectory, indent=1) + "\n")
+    return len(trajectory)

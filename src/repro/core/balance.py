@@ -24,8 +24,9 @@ larger, ``B = Br + (1 - r)(Bs - Br)``.  (The memo prints the same
 expression on both branches of its case split — an obvious typo; the
 intended symmetric form uses the min/max ratio, which is what we
 implement.)  Because ``B`` depends on ``(x_i, x_j)`` and vice versa, the
-corrected balance point is a fixed point, solved here by damped
-iteration.
+corrected balance equation can have several roots; we take the largest
+root in ``(0, N)`` by a coarse downward scan followed by bisection (see
+:func:`balance_point`).
 """
 
 from __future__ import annotations
@@ -37,9 +38,20 @@ from ..errors import InfeasibleBalanceError
 from .classify import max_parallelism
 from .task import IOPattern, Task
 
-#: Bisection controls for the corrected balance point.
+#: Bisection controls for refining the corrected balance point's root
+#: (the bracket found by the downward scan in :func:`balance_point`).
 _MAX_ITERATIONS = 200
 _TOLERANCE = 1e-9
+
+#: Memo of :func:`balance_point` solutions.  The solver is a pure
+#: function of two (frozen, hashable) tasks and the machine, but costs
+#: a ~100-evaluation scan-plus-bisection per call, and engines consult
+#: policies with the same running pairs over and over.  Only the
+#: solution floats are stored — each hit rebuilds the ``BalancePoint``
+#: around the *caller's* task objects, so no references leak between
+#: equal-but-distinct tasks.
+_POINT_CACHE: dict[tuple, tuple | None] = {}
+_POINT_CACHE_MISS = object()
 
 
 @dataclass(frozen=True)
@@ -163,7 +175,24 @@ def balance_point(
     ``use_effective_bandwidth=False`` the nominal ``B`` is used — the
     paper's uncorrected Section 2.3 calculation (the abl5 ablation).
     """
+    key = (task_a, task_b, machine, use_effective_bandwidth)
+    cached = _POINT_CACHE.get(key, _POINT_CACHE_MISS)
+    if cached is not _POINT_CACHE_MISS:
+        if cached is None:
+            return None
+        a_is_io, x_io, x_cpu, bandwidth = cached
+        task_io, task_cpu = (
+            (task_a, task_b) if a_is_io else (task_b, task_a)
+        )
+        return BalancePoint(
+            task_io=task_io,
+            task_cpu=task_cpu,
+            x_io=x_io,
+            x_cpu=x_cpu,
+            bandwidth=bandwidth,
+        )
     if task_a.io_rate == task_b.io_rate:
+        _POINT_CACHE[key] = None
         return None
     task_io, task_cpu = (
         (task_a, task_b) if task_a.io_rate > task_b.io_rate else (task_b, task_a)
@@ -195,8 +224,10 @@ def balance_point(
             return demand_io + demand_cpu - b
 
         if overload(0.0) >= 0:
+            _POINT_CACHE[key] = None
             return None  # even x_io = 0 oversubscribes: no CPU headroom
         if overload(float(n)) <= 0:
+            _POINT_CACHE[key] = None
             return None  # never disk-limited: the pair is not balanced
         steps = 64
         hi = float(n)
@@ -222,7 +253,9 @@ def balance_point(
             task_io.io_pattern, task_cpu.io_pattern,
         )
     if x_io <= 0 or x_cpu <= 0:
+        _POINT_CACHE[key] = None
         return None
+    _POINT_CACHE[key] = (task_io is task_a, x_io, x_cpu, bandwidth)
     return BalancePoint(
         task_io=task_io,
         task_cpu=task_cpu,

@@ -164,6 +164,11 @@ class FluidSimulator:
                     f"degradation names disk {window.disk} but the machine "
                     f"has {machine.disks}"
                 )
+        #: Scale -> scaled machine.  A degradation window holds one
+        #: scale for its whole duration, but _effective_machine runs on
+        #: every event; memoizing avoids rebuilding two dataclasses per
+        #: event while a window is open.
+        self._machine_by_scale: dict[float, MachineConfig] = {}
 
     def _multiplier_at(self, t: float) -> float:
         """Array-wide bandwidth factor at time ``t`` (1.0 = healthy)."""
@@ -179,8 +184,11 @@ class FluidSimulator:
         scale = self._multiplier_at(t)
         if scale >= 1.0 - 1e-12:
             return self.machine
+        cached = self._machine_by_scale.get(scale)
+        if cached is not None:
+            return cached
         disk = self.machine.disk
-        return replace(
+        machine = replace(
             self.machine,
             disk=replace(
                 disk,
@@ -189,6 +197,8 @@ class FluidSimulator:
                 random_ios_per_sec=disk.random_ios_per_sec * scale,
             ),
         )
+        self._machine_by_scale[scale] = machine
+        return machine
 
     # -- public API -------------------------------------------------------------
 

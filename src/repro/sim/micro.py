@@ -27,9 +27,9 @@ the scheduler's :class:`~repro.core.task.Task` model.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
 
 from ..config import MachineConfig
 from ..core.schedulers import Adjust, SchedulingPolicy, Start
@@ -48,6 +48,18 @@ from .fluid import ScheduleResult, TaskRecord
 
 _EPS = 1e-12
 _MAX_EVENTS = 5_000_000
+
+# Event tags for the engine's heap entries.  The hot per-page events
+# (io completion, cpu completion) are type-tagged tuples dispatched by
+# the run loop's jump table; only cold, rare events (protocol legs,
+# fault transitions, master ticks, arrivals) carry a callback.  Heap
+# ordering never reaches the payload slots: (time, seq) is unique.
+_EV_CALL = 0
+_EV_IO_DONE = 1
+_EV_CPU_DONE = 2
+
+#: Elevator preference order of the disk regimes (lower serves first).
+_REGIME_RANK = {"sequential": 0, "almost_sequential": 1, "random": 2}
 
 
 @dataclass(frozen=True)
@@ -162,7 +174,7 @@ def spec_for_io_rate(
 # engine internals
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _Segment:
     """A stride of pages assigned to one slave: ``lo..hi`` step info."""
 
@@ -181,7 +193,7 @@ class _Segment:
         return candidate
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _Slave:
     """One slave backend working on one task.
 
@@ -204,11 +216,18 @@ class _Slave:
 
     def next_page(self) -> int | None:
         """Claim the next page under page partitioning."""
-        while self.segments:
-            seg = self.segments[0]
-            page = seg.first_at_or_after(self.cursor)
-            if page is None:
-                self.segments.pop(0)
+        segments = self.segments
+        while segments:
+            seg = segments[0]
+            # Inlined _Segment.first_at_or_after: runs once per page.
+            start = self.cursor
+            if start < seg.lo:
+                start = seg.lo
+            stride = seg.stride
+            remainder = (start - seg.residue) % stride
+            page = start if remainder == 0 else start + (stride - remainder)
+            if page > seg.hi:
+                segments.pop(0)
                 continue
             self.cursor = page + 1
             return page
@@ -229,7 +248,7 @@ class _Slave:
         return [(lo, hi) for lo, hi in self.intervals if lo <= hi]
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _TaskRun:
     """Engine-internal record of one running task."""
 
@@ -244,6 +263,15 @@ class _TaskRun:
     adjusting: bool = False
     block_base: int = 0  # placement offset on the disks
     adjust_epoch: int = 0  # stale-message guard for the protocol legs
+    #: Page -> physical page permutation (identity for sequential
+    #: scans, scattered for random ones); owned by the run so the hot
+    #: path needs no per-page dict lookup.
+    order: list[int] = field(default_factory=list)
+    # Hot-path caches of immutable spec fields, set by _start_task so
+    # the per-page code avoids the run.spec.* attribute chain.
+    page_mode: bool = True  # spec.partitioning == "page"
+    cpu_per_page: float = 0.0
+    n_pages: int = 0
     #: Per-slave intervals harvested by a Figure-6 collect step, kept so
     #: an aborted round can hand them back (or restart crashed strides).
     harvest: dict[int, list[tuple[int, int]]] | None = None
@@ -253,10 +281,10 @@ class _TaskRun:
         frac = 1.0 - self.pages_done / self.spec.n_pages
         return frac * self.task.seq_time
 
-    def page_block(self, page: int, machine: MachineConfig, order: list[int]) -> tuple[int, int]:
+    def page_block(self, page: int, machine: MachineConfig) -> tuple[int, int]:
         """(disk, block) of a page: round-robin striping, sequential
         block order for sequential scans, scattered for random ones."""
-        p = order[page]
+        p = self.order[page]
         disk_id = p % machine.disks
         block = self.block_base + p // machine.disks
         return disk_id, block
@@ -300,8 +328,6 @@ class MicroSimulator:
         fault_seed: int = 0,
         adjust_timeout: float = 0.5,
     ) -> None:
-        from dataclasses import replace
-
         flattened = replace(
             machine,
             disk=replace(
@@ -356,17 +382,19 @@ class _MicroEngine:
         self.machine = machine
         self.policy = policy
         self.clock = 0.0
-        self._events: list[tuple[float, int, object]] = []
-        self._seq = itertools.count()
+        #: Heap of (time, seq, tag, payload) — see the _EV_* tags.
+        self._events: list[tuple[float, int, int, object]] = []
+        self._seq = 0  # heap tiebreaker; incremented inline (hot path)
         self._rng = random.Random(seed)
         # resources
+        self._n_disks = machine.disks
         self.disks = [Disk(i, machine.disk) for i in range(machine.disks)]
-        self._disk_queues: list[list[tuple["_TaskRun", _Slave, int, int]]] = [
-            [] for __ in range(machine.disks)
+        self._disk_queues: list[deque[tuple["_TaskRun", _Slave, int, int]]] = [
+            deque() for __ in range(machine.disks)
         ]
         self._disk_busy = [False] * machine.disks
         self.free_processors = machine.processors
-        self._cpu_queue: list[tuple["_TaskRun", _Slave]] = []
+        self._cpu_queue: deque[tuple["_TaskRun", _Slave, int, int]] = deque()
         self.cpu_busy_time = 0.0
         self.io_count = 0
         # tasks
@@ -380,13 +408,15 @@ class _MicroEngine:
         self._block_cursor = 0
         self._arrival_armed = False
         self._consult_interval = consult_interval
-        self._orders: dict[int, list[int]] = {}
         # fault injection
         self.injector = injector
         self.adjust_timeout = adjust_timeout
         #: Measured per-disk health: EWMA of (nominal service time /
         #: observed service time) per served request.  1.0 = healthy.
         self._measured_mult = [1.0] * machine.disks
+        #: Memoized effective_machine(); dropped when a health
+        #: observation moves _measured_mult.
+        self._effective_cache: MachineConfig | None = None
         self._stall_armed = [False] * machine.disks
         if injector is not None:
             injector.schedule.validate_against(machine.disks)
@@ -414,7 +444,11 @@ class _MicroEngine:
     # -- event plumbing ------------------------------------------------------------
 
     def _schedule(self, delay: float, callback) -> None:
-        heapq.heappush(self._events, (self.clock + delay, next(self._seq), callback))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._events, (self.clock + delay, seq, _EV_CALL, callback)
+        )
 
     def _master_tick(self) -> None:
         if self._finished():
@@ -431,17 +465,350 @@ class _MicroEngine:
         if self._consult_interval is not None:
             self._schedule(self._consult_interval, self._master_tick)
         self._consult_policy()
-        for event_count in range(_MAX_EVENTS):
+        # The event loop is the engine's hot path: per-page events are
+        # type-tagged tuples handled inline (no closure allocation, no
+        # indirect call), everything rare falls through to a callback.
+        # The steady-state page cycle (io done -> grab a processor ->
+        # cpu done -> claim next page -> queue next io) runs entirely
+        # inside this loop body; the inlined blocks mirror
+        # _dispatch_cpu and _slave_next exactly, and fall back to those
+        # methods for the contended or faulted cases.
+        events = self._events
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        cpu_queue = self._cpu_queue
+        disk_queues = self._disk_queues
+        disk_busy = self._disk_busy
+        disks = self.disks
+        injector = self.injector
+        n_disks = self._n_disks
+        running = self.running
+        pending = self._pending
+        arrivals = self._arrivals
+        # The hot scalars (clock, event seq, free processors, the two
+        # accounting sums) live in locals; every escape to a method call
+        # writes them back first and re-reads the ones methods mutate
+        # afterwards (only ``run`` ever assigns ``self.clock``).
+        clock = self.clock
+        seqno = self._seq
+        free = self.free_processors
+        cpu_busy = self.cpu_busy_time
+        io_count = self.io_count
+        for _ in range(_MAX_EVENTS):
             # Stop at the last completion, not at the last armed fault:
             # remaining injector events must not stretch the clock.
-            if not self._events or self._finished():
+            # (Inlined self._finished().)
+            if not events or not (running or pending or arrivals):
+                self.clock = clock
+                self._seq = seqno
+                self.free_processors = free
+                self.cpu_busy_time = cpu_busy
+                self.io_count = io_count
                 break
-            time, __seq, callback = heapq.heappop(self._events)
-            if time < self.clock - _EPS:
+            time, __, tag, payload = heappop(events)
+            if time < clock - _EPS:
                 raise SimulationError("time went backwards")
-            self.clock = max(self.clock, time)
-            callback()
+            if time > clock:
+                clock = time
+            if tag == _EV_IO_DONE:
+                disk_id = payload[2]
+                disk_busy[disk_id] = False
+                queue = disk_queues[disk_id]
+                if queue:
+                    if injector is None and len(queue) == 1:
+                        # Inlined healthy singleton serve: the elevator
+                        # is trivial with one request, and the block
+                        # below reproduces Disk.service_time's
+                        # classification and accounting verbatim
+                        # (multiplier 1.0).  Deeper queues and faulted
+                        # disks fall back to _dispatch_disk.
+                        entry = queue.popleft()
+                        block = entry[3]
+                        disk = disks[disk_id]
+                        streams = disk._streams
+                        regime = "random"
+                        index = None
+                        last = len(streams) - 1
+                        window = disk.almost_seq_window
+                        for i, pos in enumerate(streams):
+                            delta = block - pos
+                            if delta == 1:
+                                if i == last:
+                                    regime = "sequential"
+                                    index = i
+                                    break
+                                regime = "almost_sequential"
+                                index = i
+                            elif 0 <= delta <= window and regime == "random":
+                                regime = "almost_sequential"
+                                index = i
+                        counters = disk.counters
+                        if regime == "sequential":
+                            counters.sequential += 1
+                        elif regime == "almost_sequential":
+                            counters.almost_sequential += 1
+                        else:
+                            counters.random += 1
+                        service = disk._service_times[regime]
+                        if index is not None:
+                            streams.pop(index)
+                        streams.append(block)
+                        if len(streams) > disk.stream_memory:
+                            streams.pop(0)
+                        if disk._match_cache:
+                            disk._match_cache.clear()
+                        disk.busy_time += service
+                        disk_busy[disk_id] = True
+                        io_count += 1
+                        heappush(
+                            events,
+                            (clock + service, seqno, _EV_IO_DONE, entry),
+                        )
+                        seqno += 1
+                    else:
+                        self.clock = clock
+                        self._seq = seqno
+                        self.free_processors = free
+                        self.cpu_busy_time = cpu_busy
+                        self.io_count = io_count
+                        self._dispatch_disk(disk_id)
+                        seqno = self._seq
+                        free = self.free_processors
+                        cpu_busy = self.cpu_busy_time
+                        io_count = self.io_count
+                if payload[1].crashed:
+                    continue
+                # Inlined _dispatch_cpu: grant a free processor to this
+                # page directly; queue behind the FIFO otherwise.
+                if free > 0 and not cpu_queue:
+                    free -= 1
+                    duration = payload[0].cpu_per_page
+                    cpu_busy += duration
+                    heappush(
+                        events,
+                        (clock + duration, seqno, _EV_CPU_DONE, payload),
+                    )
+                    seqno += 1
+                else:
+                    cpu_queue.append(payload)
+                    if free > 0:
+                        self.clock = clock
+                        self._seq = seqno
+                        self.free_processors = free
+                        self.cpu_busy_time = cpu_busy
+                        self.io_count = io_count
+                        self._dispatch_cpu()
+                        seqno = self._seq
+                        free = self.free_processors
+                        cpu_busy = self.cpu_busy_time
+                        io_count = self.io_count
+            elif tag == _EV_CPU_DONE:
+                run = payload[0]
+                slave = payload[1]
+                free += 1
+                if slave.crashed:
+                    # The page dies with the slave; its replacement
+                    # re-reads it, so do not count it done here.
+                    self.clock = clock
+                    self._seq = seqno
+                    self.free_processors = free
+                    self.cpu_busy_time = cpu_busy
+                    self.io_count = io_count
+                    self._dispatch_cpu()
+                    seqno = self._seq
+                    free = self.free_processors
+                    cpu_busy = self.cpu_busy_time
+                    io_count = self.io_count
+                    continue
+                run.pages_done += 1
+                slave.busy = False
+                slave.inflight_page = None
+                # Inlined _slave_next: claim the slave's next page and
+                # queue its io (the method remains for cold callers).
+                if not (slave.retired or slave.paused):
+                    if run.page_mode:
+                        # Inlined _Slave.next_page (runs once per page).
+                        segments = slave.segments
+                        page = None
+                        while segments:
+                            seg = segments[0]
+                            start = slave.cursor
+                            if start < seg.lo:
+                                start = seg.lo
+                            stride = seg.stride
+                            remainder = (start - seg.residue) % stride
+                            page = (
+                                start
+                                if remainder == 0
+                                else start + (stride - remainder)
+                            )
+                            if page > seg.hi:
+                                segments.pop(0)
+                                page = None
+                                continue
+                            slave.cursor = page + 1
+                            break
+                    else:
+                        page = slave.next_key()
+                    if page is None:
+                        slave.retired = True
+                        self.clock = clock
+                        self._seq = seqno
+                        self.free_processors = free
+                        self.cpu_busy_time = cpu_busy
+                        self.io_count = io_count
+                        self._maybe_complete(run)
+                        seqno = self._seq
+                        free = self.free_processors
+                        cpu_busy = self.cpu_busy_time
+                        io_count = self.io_count
+                    else:
+                        slave.busy = True
+                        slave.inflight_page = page
+                        p = run.order[page]
+                        disk_id = p % n_disks
+                        entry = (
+                            run,
+                            slave,
+                            disk_id,
+                            run.block_base + p // n_disks,
+                        )
+                        if (
+                            disk_busy[disk_id]
+                            or disk_queues[disk_id]
+                            or injector is not None
+                        ):
+                            disk_queues[disk_id].append(entry)
+                            if not disk_busy[disk_id]:
+                                self.clock = clock
+                                self._seq = seqno
+                                self.free_processors = free
+                                self.cpu_busy_time = cpu_busy
+                                self.io_count = io_count
+                                self._dispatch_disk(disk_id)
+                                seqno = self._seq
+                                free = self.free_processors
+                                cpu_busy = self.cpu_busy_time
+                                io_count = self.io_count
+                        else:
+                            # Idle disk, empty queue, healthy: serve the
+                            # new request immediately without the deque
+                            # round-trip.  Same serve block as the io
+                            # branch above — identical to appending the
+                            # entry and dispatching the singleton.
+                            block = entry[3]
+                            disk = disks[disk_id]
+                            streams = disk._streams
+                            regime = "random"
+                            index = None
+                            last = len(streams) - 1
+                            window = disk.almost_seq_window
+                            for i, pos in enumerate(streams):
+                                delta = block - pos
+                                if delta == 1:
+                                    if i == last:
+                                        regime = "sequential"
+                                        index = i
+                                        break
+                                    regime = "almost_sequential"
+                                    index = i
+                                elif (
+                                    0 <= delta <= window
+                                    and regime == "random"
+                                ):
+                                    regime = "almost_sequential"
+                                    index = i
+                            counters = disk.counters
+                            if regime == "sequential":
+                                counters.sequential += 1
+                            elif regime == "almost_sequential":
+                                counters.almost_sequential += 1
+                            else:
+                                counters.random += 1
+                            service = disk._service_times[regime]
+                            if index is not None:
+                                streams.pop(index)
+                            streams.append(block)
+                            if len(streams) > disk.stream_memory:
+                                streams.pop(0)
+                            if disk._match_cache:
+                                disk._match_cache.clear()
+                            disk.busy_time += service
+                            disk_busy[disk_id] = True
+                            io_count += 1
+                            heappush(
+                                events,
+                                (
+                                    clock + service,
+                                    seqno,
+                                    _EV_IO_DONE,
+                                    entry,
+                                ),
+                            )
+                            seqno += 1
+                # Inlined _dispatch_cpu: the freed processor serves the
+                # FIFO head, then any remaining backlog via the method.
+                if cpu_queue:
+                    entry = cpu_queue.popleft()
+                    if entry[1].crashed:
+                        self.clock = clock
+                        self._seq = seqno
+                        self.free_processors = free
+                        self.cpu_busy_time = cpu_busy
+                        self.io_count = io_count
+                        self._dispatch_cpu()
+                        seqno = self._seq
+                        free = self.free_processors
+                        cpu_busy = self.cpu_busy_time
+                        io_count = self.io_count
+                    else:
+                        free -= 1
+                        duration = entry[0].cpu_per_page
+                        cpu_busy += duration
+                        heappush(
+                            events,
+                            (clock + duration, seqno, _EV_CPU_DONE, entry),
+                        )
+                        seqno += 1
+                        if cpu_queue and free > 0:
+                            self.clock = clock
+                            self._seq = seqno
+                            self.free_processors = free
+                            self.cpu_busy_time = cpu_busy
+                            self.io_count = io_count
+                            self._dispatch_cpu()
+                            seqno = self._seq
+                            free = self.free_processors
+                            cpu_busy = self.cpu_busy_time
+                            io_count = self.io_count
+                if run.pages_done >= run.n_pages:
+                    self.clock = clock
+                    self._seq = seqno
+                    self.free_processors = free
+                    self.cpu_busy_time = cpu_busy
+                    self.io_count = io_count
+                    self._maybe_complete(run)
+                    seqno = self._seq
+                    free = self.free_processors
+                    cpu_busy = self.cpu_busy_time
+                    io_count = self.io_count
+            else:
+                self.clock = clock
+                self._seq = seqno
+                self.free_processors = free
+                self.cpu_busy_time = cpu_busy
+                self.io_count = io_count
+                payload()
+                seqno = self._seq
+                free = self.free_processors
+                cpu_busy = self.cpu_busy_time
+                io_count = self.io_count
         else:
+            self.clock = clock
+            self._seq = seqno
+            self.free_processors = free
+            self.cpu_busy_time = cpu_busy
+            self.io_count = io_count
             progress = ", ".join(
                 f"{r.task.name} {r.pages_done}/{r.spec.n_pages}p x={r.parallelism}"
                 + (" adjusting" if r.adjusting else "")
@@ -503,6 +870,7 @@ class _MicroEngine:
         """Fold one served request's health ratio into the disk estimate."""
         old = self._measured_mult[disk_id]
         self._measured_mult[disk_id] = 0.7 * old + 0.3 * multiplier
+        self._effective_cache = None
 
     def effective_machine(self) -> MachineConfig:
         """The machine as currently *measured*, not as configured.
@@ -511,23 +879,31 @@ class _MicroEngine:
         ``io_bandwidth`` tracks what the degraded array actually
         delivers; degradation-aware policies recompute balance points
         against this instead of the static ``MachineConfig.B``.
-        """
-        from dataclasses import replace
 
+        The result is memoized until the next health observation, so a
+        policy consult does not rebuild two dataclasses per call on a
+        healthy (or merely stable) machine.
+        """
+        cached = self._effective_cache
+        if cached is not None:
+            return cached
         scale = sum(self._measured_mult) / len(self._measured_mult)
         if abs(scale - 1.0) < 1e-9:
-            return self.machine
-        scale = max(scale, 0.05)
-        disk = self.machine.disk
-        return replace(
-            self.machine,
-            disk=replace(
-                disk,
-                seq_ios_per_sec=disk.seq_ios_per_sec * scale,
-                almost_seq_ios_per_sec=disk.almost_seq_ios_per_sec * scale,
-                random_ios_per_sec=disk.random_ios_per_sec * scale,
-            ),
-        )
+            machine = self.machine
+        else:
+            scale = max(scale, 0.05)
+            disk = self.machine.disk
+            machine = replace(
+                self.machine,
+                disk=replace(
+                    disk,
+                    seq_ios_per_sec=disk.seq_ios_per_sec * scale,
+                    almost_seq_ios_per_sec=disk.almost_seq_ios_per_sec * scale,
+                    random_ios_per_sec=disk.random_ios_per_sec * scale,
+                ),
+            )
+        self._effective_cache = machine
+        return machine
 
     def _inject_crash(self, fault: SlaveCrash) -> None:
         injector = self.injector
@@ -651,12 +1027,15 @@ class _MicroEngine:
             parallelism=n,
             started_at=self.clock,
             block_base=self._block_cursor,
+            page_mode=spec.partitioning == "page",
+            cpu_per_page=spec.cpu_per_page,
+            n_pages=spec.n_pages,
         )
         self._block_cursor += math.ceil(spec.n_pages / self.machine.disks) + 10_000
         order = list(range(spec.n_pages))
         if spec.pattern == IOPattern.RANDOM:
             self._rng.shuffle(order)
-        self._orders[task.task_id] = order
+        run.order = order
         run.history.append((self.clock, float(n)))
         self.running[task.task_id] = run
         self.peak_memory = max(
@@ -701,22 +1080,25 @@ class _MicroEngine:
         """Move a slave to its next page, or retire it."""
         if slave.retired or slave.busy or slave.paused:
             return
-        if run.spec.partitioning == "page":
-            page = slave.next_page()
-        else:
-            page = slave.next_key()
+        page = slave.next_page() if run.page_mode else slave.next_key()
         if page is None:
             slave.retired = True
             self._maybe_complete(run)
             return
         slave.busy = True
         slave.inflight_page = page
-        disk_id, block = run.page_block(
-            page, self.machine, self._orders[run.task.task_id]
+        # Inlined _TaskRun.page_block: this runs once per page.
+        p = run.order[page]
+        disk_id = p % self._n_disks
+        self._disk_queues[disk_id].append(
+            (run, slave, disk_id, run.block_base + p // self._n_disks)
         )
-        self._enqueue_io(run, slave, disk_id, block)
+        if not self._disk_busy[disk_id]:
+            self._dispatch_disk(disk_id)
 
     def _maybe_complete(self, run: _TaskRun) -> None:
+        if run.pages_done < run.spec.n_pages:
+            return  # hot path: one int compare per page
         if run.task.task_id not in self.running:
             return
         if run.pages_done > run.spec.n_pages:
@@ -741,10 +1123,6 @@ class _MicroEngine:
 
     # -- disks --------------------------------------------------------------------------------
 
-    def _enqueue_io(self, run: _TaskRun, slave: _Slave, disk_id: int, block: int) -> None:
-        self._disk_queues[disk_id].append((run, slave, disk_id, block))
-        self._dispatch_disk(disk_id)
-
     def _dispatch_disk(self, disk_id: int) -> None:
         """Serve the queued request costing the least head movement.
 
@@ -754,17 +1132,26 @@ class _MicroEngine:
         best against the current head position (sequential beats
         almost-sequential beats random), FIFO within a class.  This is
         a simple SCAN/elevator policy.
+
+        The scan stops at the first sequential request (rank 0 cannot
+        be beaten, and FIFO-within-class means the first hit wins) and
+        classifies through :meth:`Disk._match`'s memo, so the winning
+        request's regime is not recomputed by ``service_time``.
         """
         if self._disk_busy[disk_id]:
             return
         queue = self._disk_queues[disk_id]
-        if self.injector is not None:
+        injector = self.injector
+        if injector is not None:
             # Requests queued by since-crashed slaves are dropped unserved.
-            queue[:] = [entry for entry in queue if not entry[1].crashed]
+            if any(entry[1].crashed for entry in queue):
+                self._disk_queues[disk_id] = queue = deque(
+                    entry for entry in queue if not entry[1].crashed
+                )
         if not queue:
             return
-        if self.injector is not None:
-            until = self.injector.stalled_until(disk_id)
+        if injector is not None:
+            until = injector.stalled_until(disk_id)
             if until > self.clock + _EPS:
                 # Frozen: dispatch nothing, resume once when the stall ends.
                 if not self._stall_armed[disk_id]:
@@ -777,59 +1164,86 @@ class _MicroEngine:
                     self._schedule(until - self.clock, resume)
                 return
         disk = self.disks[disk_id]
-        rank = {"sequential": 0, "almost_sequential": 1, "random": 2}
-        best_index = min(
-            range(len(queue)), key=lambda i: rank[disk.classify(queue[i][3])]
-        )
-        run, slave, __, block = queue.pop(best_index)
+        if len(queue) == 1:
+            # Singleton queue: selection is trivial, skip classifying
+            # (serving classifies the winner anyway).
+            entry = queue.popleft()
+        else:
+            match = disk._match
+            rank = _REGIME_RANK
+            best_rank = 3
+            best_index = 0
+            i = 0
+            for entry in queue:
+                r = rank[match(entry[3])[0]]
+                if r < best_rank:
+                    best_index = i
+                    if r == 0:
+                        break
+                    best_rank = r
+                i += 1
+            if best_index == 0:
+                entry = queue.popleft()
+            else:
+                entry = queue[best_index]
+                del queue[best_index]
         self._disk_busy[disk_id] = True
-        multiplier = (
-            1.0 if self.injector is None else self.injector.multiplier(disk_id)
-        )
-        service = disk.service_time(block, multiplier=multiplier)
-        if self.injector is not None:
+        block = entry[3]
+        if injector is None:
+            # Inlined Disk.service_time for the healthy multiplier=1.0
+            # case — identical accounting, no method call per page.
+            cached = disk._match_cache.get(block)
+            regime, index = cached if cached is not None else disk._match(block)
+            counters = disk.counters
+            if regime == "sequential":
+                counters.sequential += 1
+            elif regime == "almost_sequential":
+                counters.almost_sequential += 1
+            else:
+                counters.random += 1
+            service = disk._service_times[regime]
+            streams = disk._streams
+            if index is not None:
+                streams.pop(index)
+            streams.append(block)
+            if len(streams) > disk.stream_memory:
+                streams.pop(0)
+            disk._match_cache.clear()
+            disk.busy_time += service
+        else:
+            multiplier = injector.multiplier(disk_id)
+            service = disk.service_time(block, multiplier=multiplier)
             self._observe_disk(disk_id, multiplier)
         self.io_count += 1
-
-        def io_done() -> None:
-            self._disk_busy[disk_id] = False
-            self._dispatch_disk(disk_id)
-            if slave.crashed:
-                return
-            self._request_cpu(run, slave)
-
-        self._schedule(service, io_done)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._events, (self.clock + service, seq, _EV_IO_DONE, entry)
+        )
 
     # -- processors ------------------------------------------------------------------------------
 
-    def _request_cpu(self, run: _TaskRun, slave: _Slave) -> None:
-        self._cpu_queue.append((run, slave))
-        self._dispatch_cpu()
-
     def _dispatch_cpu(self) -> None:
-        while self.free_processors > 0 and self._cpu_queue:
-            run, slave = self._cpu_queue.pop(0)
-            if slave.crashed:
+        """Hand free processors to queued pages (FIFO).
+
+        Completion is the type-tagged ``_EV_CPU_DONE`` heap entry — the
+        run loop's jump table does the bookkeeping, so no closure is
+        allocated per page.
+        """
+        queue = self._cpu_queue
+        events = self._events
+        heappush = heapq.heappush
+        clock = self.clock
+        while self.free_processors > 0 and queue:
+            entry = queue.popleft()
+            if entry[1].crashed:
                 continue
             self.free_processors -= 1
-            duration = run.spec.cpu_per_page
+            duration = entry[0].cpu_per_page
             self.cpu_busy_time += duration
-
-            def cpu_done(run=run, slave=slave) -> None:
-                self.free_processors += 1
-                if slave.crashed:
-                    # The page dies with the slave; its replacement
-                    # re-reads it, so do not count it done here.
-                    self._dispatch_cpu()
-                    return
-                run.pages_done += 1
-                slave.busy = False
-                slave.inflight_page = None
-                self._slave_next(run, slave)
-                self._dispatch_cpu()
-                self._maybe_complete(run)
-
-            self._schedule(duration, cpu_done)
+            seq = self._seq
+            self._seq = seq + 1
+            heappush(events, (clock + duration, seq, _EV_CPU_DONE, entry))
 
     # -- dynamic adjustment (Figures 5 and 6) -------------------------------------------------------
 

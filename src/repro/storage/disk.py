@@ -81,20 +81,38 @@ class Disk:
         if self.stream_memory < 1:
             raise ConfigError("stream_memory must be >= 1")
         self._streams: list[int] = []  # recent positions, most recent last
+        #: Memo of _match keyed by block, valid until _streams mutates.
+        #: An elevator classifying a queue then serving the winner asks
+        #: about the same block twice against unchanged streams.
+        self._match_cache: dict[int, tuple[str, int | None]] = {}
+        # DiskProfile is frozen, so the per-regime service times can be
+        # computed once instead of dividing on every request.
+        self._service_times = {
+            "sequential": 1.0 / self.profile.seq_ios_per_sec,
+            "almost_sequential": 1.0 / self.profile.almost_seq_ios_per_sec,
+            "random": 1.0 / self.profile.random_ios_per_sec,
+        }
         self.counters = DiskCounters()
         self.busy_time = 0.0
 
     def _match(self, block: int) -> tuple[str, int | None]:
-        """(regime, matching stream index) for a request."""
+        """(regime, matching stream index) for a request (memoized)."""
+        cached = self._match_cache.get(block)
+        if cached is not None:
+            return cached
         best: tuple[str, int | None] = ("random", None)
-        for i, pos in enumerate(self._streams):
+        streams = self._streams
+        last = len(streams) - 1
+        for i, pos in enumerate(streams):
             delta = block - pos
-            if delta == 1 and i == len(self._streams) - 1:
-                return "sequential", i
             if delta == 1:
+                if i == last:
+                    best = ("sequential", i)
+                    break
                 best = ("almost_sequential", i)
             elif 0 <= delta <= self.almost_seq_window and best[0] == "random":
                 best = ("almost_sequential", i)
+        self._match_cache[block] = best
         return best
 
     def classify(self, block: int) -> str:
@@ -115,28 +133,34 @@ class Disk:
         """
         if multiplier <= 0:
             raise ConfigError("multiplier must be positive")
-        regime, index = self._match(block)
+        # The elevator usually classified this block moments ago; read
+        # the memo directly to skip a call on the per-page hot path.
+        cached = self._match_cache.get(block)
+        regime, index = cached if cached is not None else self._match(block)
+        counters = self.counters
         if regime == "sequential":
-            self.counters.sequential += 1
-            t = 1.0 / self.profile.seq_ios_per_sec
+            counters.sequential += 1
         elif regime == "almost_sequential":
-            self.counters.almost_sequential += 1
-            t = 1.0 / self.profile.almost_seq_ios_per_sec
+            counters.almost_sequential += 1
         else:
-            self.counters.random += 1
-            t = 1.0 / self.profile.random_ios_per_sec
-        t /= multiplier
+            counters.random += 1
+        t = self._service_times[regime]
+        if multiplier != 1.0:
+            t = t / multiplier
+        streams = self._streams
         if index is not None:
-            self._streams.pop(index)
-        self._streams.append(block)
-        if len(self._streams) > self.stream_memory:
-            self._streams.pop(0)
+            streams.pop(index)
+        streams.append(block)
+        if len(streams) > self.stream_memory:
+            streams.pop(0)
+        self._match_cache.clear()
         self.busy_time += t
         return t
 
     def reset(self) -> None:
         """Forget all stream positions and zero all counters."""
         self._streams = []
+        self._match_cache.clear()
         self.counters.reset()
         self.busy_time = 0.0
 

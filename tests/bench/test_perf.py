@@ -1,0 +1,67 @@
+"""Tests for the throughput harness and the perf regression floor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    append_trajectory,
+    run_case,
+    run_perf,
+    smoke_lines,
+)
+
+#: Conservative pages/sec floor for the seeded 40-task workload.  The
+#: fast-path engine measures ~300-400k pages/sec on the reference
+#: machine and the pre-optimization engine ~110-140k, so 150k trips on
+#: a 2x regression while leaving 2x headroom for slower CI hosts.
+PAGES_PER_SEC_FLOOR = 150_000
+
+
+@pytest.mark.perf
+class TestPerfFloor:
+    def test_40_task_workload_meets_floor(self):
+        case = run_case(40, seed=0, repeats=3)
+        assert case.pages == 41408  # seeded workload is fixed
+        assert case.pages_per_sec >= PAGES_PER_SEC_FLOOR
+
+
+class TestHarness:
+    def test_report_covers_requested_task_counts(self):
+        report = run_perf((4, 6), max_pages=150, repeats=1)
+        assert [case.n_tasks for case in report.cases] == [4, 6]
+        for case in report.cases:
+            assert case.pages > 0
+            assert case.wall_seconds > 0
+            assert case.pages_per_sec > 0
+            assert case.sim_elapsed > 0
+
+    def test_simulated_outputs_are_deterministic(self):
+        one = run_perf((4,), max_pages=150, repeats=1)
+        two = run_perf((4,), max_pages=150, repeats=1)
+        assert one.cases[0].pages == two.cases[0].pages
+        assert one.cases[0].events == two.cases[0].events
+        assert one.cases[0].sim_elapsed == two.cases[0].sim_elapsed
+
+    def test_smoke_lines_are_byte_stable_and_healthy(self):
+        one = smoke_lines()
+        two = smoke_lines()
+        assert one == two
+        assert not any(line.startswith("smoke failed") for line in one)
+
+    def test_trajectory_appends(self, tmp_path):
+        path = tmp_path / "BENCH_PERF.json"
+        report = run_perf((4,), max_pages=150, repeats=1)
+        assert append_trajectory(path, report.to_entry("first")) == 1
+        assert append_trajectory(path, report.to_entry("second")) == 2
+        trajectory = json.loads(path.read_text())
+        assert [entry["label"] for entry in trajectory] == ["first", "second"]
+        assert "4" in trajectory[0]["workloads"]
+
+    def test_trajectory_rejects_non_list(self, tmp_path):
+        path = tmp_path / "BENCH_PERF.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            append_trajectory(path, {"label": "x"})

@@ -1,0 +1,144 @@
+"""Shared fixtures for the pre-optimization trace corpus.
+
+The corpus (``tests/sim/data/trace_corpus.json``) freezes the exact
+``ScheduleResult`` traces the *seed* micro engine produced for a fixed
+set of workloads — seeds 0-4, all three policies, plus a faulted
+configuration — before the fast-path overhaul.  The property test in
+``test_trace_corpus.py`` replays the same workloads on the current
+engine and asserts byte-identical digests, so any optimization that
+changes even one event ordering or float is caught.
+
+Regenerate (only when a trace change is *intended* and reviewed)::
+
+    PYTHONPATH=src python -m tests.sim.corpus_tools
+
+Floats are serialized with ``float.hex()`` so the comparison is exact
+to the last bit, not within a tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config import paper_machine
+from repro.core.schedulers import InterWithAdjPolicy, policy_by_name
+from repro.core.task import IOPattern
+from repro.faults import preset_schedule
+from repro.sim.micro import MicroSimulator, spec_for_io_rate
+from repro.workloads import WorkloadConfig, WorkloadKind
+from repro.workloads.mixes import generate_specs
+
+CORPUS_PATH = Path(__file__).parent / "data" / "trace_corpus.json"
+
+SEEDS = (0, 1, 2, 3, 4)
+POLICY_NAMES = ("INTRA-ONLY", "INTER-WITHOUT-ADJ", "INTER-WITH-ADJ")
+
+
+def corpus_specs(machine, seed):
+    """The healthy-run corpus workload: a 10-task Random mix."""
+    return generate_specs(
+        WorkloadKind.RANDOM,
+        seed=seed,
+        machine=machine,
+        config=WorkloadConfig(n_tasks=10, max_pages=800),
+    )
+
+
+def faulted_specs(machine):
+    """The faulted-run corpus workload (mirrors test_determinism)."""
+    return [
+        spec_for_io_rate(
+            "io0", machine, io_rate=55.0, n_pages=300,
+            pattern=IOPattern.SEQUENTIAL, partitioning="page",
+        ),
+        spec_for_io_rate(
+            "cpu0", machine, io_rate=8.0, n_pages=80,
+            pattern=IOPattern.SEQUENTIAL, partitioning="page",
+        ),
+        spec_for_io_rate(
+            "rnd0", machine, io_rate=20.0, n_pages=60,
+            pattern=IOPattern.RANDOM, partitioning="range",
+        ),
+    ]
+
+
+def trace_digest(result):
+    """A byte-exact, JSON-stable digest of one ScheduleResult."""
+    digest = {
+        "policy": result.policy_name,
+        "elapsed": result.elapsed.hex(),
+        "adjustments": result.adjustments,
+        "cpu_busy": result.cpu_busy.hex(),
+        "io_served": result.io_served.hex(),
+        "peak_memory": result.peak_memory.hex(),
+        "records": [
+            {
+                "name": r.task.name,
+                "started_at": r.started_at.hex(),
+                "finished_at": r.finished_at.hex(),
+                "history": [
+                    [t.hex(), x.hex()] for t, x in r.parallelism_history
+                ],
+            }
+            for r in result.records
+        ],
+    }
+    if result.fault_log is not None:
+        digest["fault_events"] = [
+            [t.hex(), kind, message]
+            for t, kind, message in result.fault_log.events
+        ]
+    return digest
+
+
+def healthy_digest(seed, policy_name):
+    """Run one healthy corpus configuration on the current engine."""
+    machine = paper_machine()
+    sim = MicroSimulator(machine, seed=seed, consult_interval=0.5)
+    result = sim.run(
+        corpus_specs(machine, seed), policy_by_name(policy_name, integral=True)
+    )
+    return trace_digest(result)
+
+
+def faulted_digest(seed):
+    """Run one faulted corpus configuration on the current engine."""
+    machine = paper_machine()
+    sim = MicroSimulator(
+        machine,
+        seed=seed,
+        consult_interval=1.0,
+        faults=preset_schedule("mixed", horizon=4.0),
+        fault_seed=seed,
+        adjust_timeout=0.5,
+    )
+    result = sim.run(
+        faulted_specs(machine),
+        InterWithAdjPolicy(integral=True, degradation_aware=True),
+    )
+    return trace_digest(result)
+
+
+def build_corpus():
+    """All corpus digests, keyed by configuration label."""
+    corpus = {}
+    for seed in SEEDS:
+        for policy_name in POLICY_NAMES:
+            corpus[f"healthy/seed{seed}/{policy_name}"] = healthy_digest(
+                seed, policy_name
+            )
+        corpus[f"faulted/seed{seed}"] = faulted_digest(seed)
+    return corpus
+
+
+def main():
+    """Regenerate the corpus file from the current engine."""
+    CORPUS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    corpus = build_corpus()
+    CORPUS_PATH.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(corpus)} traces to {CORPUS_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -135,3 +135,36 @@ class TestChaosCommand:
     def test_chaos_random_schedule(self, capsys):
         assert main(["chaos", "--smoke", "--random", "4", "--horizon", "3"]) == 0
         assert "verdict: OK" in capsys.readouterr().out
+
+    def test_perf_smoke(self, capsys):
+        assert main(["perf", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: 4 tasks" in out
+        assert "ios served" in out
+
+    def test_perf_smoke_is_byte_stable(self, capsys):
+        assert main(["perf", "--smoke"]) == 0
+        first = capsys.readouterr().out
+        assert main(["perf", "--smoke"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_perf_timed_run_and_trajectory(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_PERF.json"
+        assert main(
+            [
+                "perf",
+                "--tasks", "4",
+                "--max-pages", "150",
+                "--repeats", "1",
+                "--json", str(path),
+                "--label", "cli-test",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pages/sec" in out
+        assert f"appended entry 1 to {path}" in out
+        trajectory = json.loads(path.read_text())
+        assert trajectory[0]["label"] == "cli-test"
+
+    def test_perf_rejects_bad_task_count(self, capsys):
+        assert main(["perf", "--tasks", "not-a-number"]) == EXIT_USAGE

@@ -11,6 +11,7 @@ Commands:
 * ``serve``     — serving mode: open arrival stream + admission control.
 * ``chaos``     — run the simulator under an injected fault schedule.
 * ``perf``      — time the micro engine's pages/sec throughput.
+* ``optbench``  — time the optimizer's plans/sec throughput.
 
 Exit codes: ``0`` success, ``1`` command-specific failure, ``2`` bad
 arguments (argparse usage errors), ``3`` a :class:`~repro.errors.ReproError`
@@ -266,6 +267,44 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_optbench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench.optbench import append_trajectory, run_optbench, smoke_lines
+
+    if args.smoke:
+        # Byte-stable: deterministic counters and costs, never
+        # wall-clock; fails if the fast path diverged from the
+        # reference search.
+        lines = smoke_lines(seed=args.seed, topology=args.topology)
+        print("\n".join(lines))
+        if any(line.startswith("smoke failed") for line in lines):
+            return 1
+        return 0
+    report = run_optbench(
+        tuple(args.relations),
+        spaces=tuple(args.spaces),
+        topology=args.topology,
+        seed=args.seed,
+        repeats=args.repeats,
+        include_before=not args.no_before,
+    )
+    print(report.to_table())
+    if not all(case.identical for case in report.cases):
+        print(
+            "optbench failed: fast path chose a different plan",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json is not None:
+        path = Path(args.json)
+        count = 0
+        for entry in report.to_entries(args.label):
+            count = append_trajectory(path, entry)
+        print(f"appended entries through {count} to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -459,6 +498,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick deterministic run, byte-stable output",
     )
     perf.set_defaults(func=_cmd_perf)
+
+    optbench = commands.add_parser(
+        "optbench", help="time the optimizer's plans/sec throughput"
+    )
+    optbench.add_argument(
+        "--relations",
+        type=int,
+        nargs="+",
+        default=[4, 6, 8],
+        help="query sizes (total relations) to time",
+    )
+    optbench.add_argument(
+        "--spaces",
+        nargs="+",
+        choices=("left-deep", "right-deep", "bushy"),
+        default=["left-deep", "right-deep", "bushy"],
+        help="plan spaces to time for each size",
+    )
+    optbench.add_argument(
+        "--topology", choices=("star", "chain"), default="star"
+    )
+    optbench.add_argument("--seed", type=int, default=0)
+    optbench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="wall-clock repetitions per case (best is kept)",
+    )
+    optbench.add_argument(
+        "--no-before",
+        action="store_true",
+        help="skip the fast-path-off reference timings",
+    )
+    optbench.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="append this run to a BENCH_OPT.json trajectory file",
+    )
+    optbench.add_argument(
+        "--label",
+        default="local",
+        help="label of the --json trajectory entries",
+    )
+    optbench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick deterministic run, byte-stable output",
+    )
+    optbench.set_defaults(func=_cmd_optbench)
     return parser
 
 

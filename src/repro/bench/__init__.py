@@ -17,6 +17,7 @@ from .harness import (
     make_policies,
     run_figure7,
 )
+from .optbench import OptBenchCase, OptBenchReport, run_optbench
 from .perf import PerfCase, PerfReport, run_case, run_perf
 from .report import format_bar_chart, format_table, percent
 
@@ -27,6 +28,8 @@ __all__ = [
     "Figure7Cell",
     "Figure7Result",
     "POLICY_NAMES",
+    "OptBenchCase",
+    "OptBenchReport",
     "PerfCase",
     "PerfReport",
     "ScanMeasurement",
@@ -44,6 +47,7 @@ __all__ = [
     "render_gantt",
     "run_case",
     "run_figure7",
+    "run_optbench",
     "run_perf",
     "schedule_to_json",
 ]

@@ -1,0 +1,331 @@
+"""Optimizer throughput benchmark (``python -m repro optbench``).
+
+``parcost``-driven optimization is the expensive path through the
+system: the bushy DP over an 8-relation query evaluates thousands of
+candidate joins, each one a full fluid-engine simulation before the
+fast path (estimate memoization, signature-keyed parcost caching,
+branch-and-bound candidate skipping — :mod:`repro.optimizer.cache`)
+was added.  This harness times phase-1 optimization across query sizes
+and plan spaces with the fast path off (``before``) and on (``after``),
+verifies both choose byte-identical plans, and reports candidate
+throughput (plans considered per wall second) plus end-to-end optimize
+latency.  ``BENCH_OPT.json`` at the repository root records the
+trajectory, mirroring ``BENCH_PERF.json`` for the micro engine.
+
+Workloads are seeded star or chain joins, so every simulated quantity —
+candidate counts, prune/hit counters, the chosen plan and its parcost —
+is byte-stable; only wall-clock varies between machines.  ``--smoke``
+prints only the byte-stable part and asserts fast/slow plan identity,
+giving CI a cheap end-to-end check of the pruning-safety argument.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..catalog.catalog import Catalog
+from ..errors import OptimizerError
+from ..optimizer import (
+    OptimizerCaches,
+    ParcostObjective,
+    enumerate_space,
+    parcost,
+    plan_shape_key,
+)
+from ..workloads.queries import JoinSchema, chain_join, star_join
+from .perf import append_trajectory  # re-exported trajectory writer
+
+__all__ = [
+    "DEFAULT_RELATIONS",
+    "DEFAULT_SPACES",
+    "OptBenchCase",
+    "OptBenchReport",
+    "append_trajectory",
+    "bench_workload",
+    "run_optbench",
+    "smoke_lines",
+    "time_optimize",
+]
+
+#: Query sizes (total relations) timed by a default run.
+DEFAULT_RELATIONS = (4, 6, 8)
+#: Plan spaces timed for each size.
+DEFAULT_SPACES = ("left-deep", "right-deep", "bushy")
+#: Wall-clock repetitions per case; the best (minimum) time is kept.
+DEFAULT_REPEATS = 3
+#: Row scale keeping the 8-relation bushy case tractable while leaving
+#: realistic cost structure (distinct relation sizes, real selectivity).
+_STAR_FACT_ROWS = 400
+_STAR_DIM_ROWS = 80
+_CHAIN_ROWS = 300
+
+
+@dataclass(frozen=True)
+class OptBenchCase:
+    """One timed (size, space) optimization.
+
+    All counters and costs are deterministic for a given seed; only the
+    ``wall_*`` fields vary between machines.
+    """
+
+    n_relations: int
+    space: str
+    topology: str
+    candidates: int
+    costed: int
+    pruned: int
+    parcost_hits: int
+    simulated: int
+    chosen_parcost: float
+    wall_before: float | None
+    wall_after: float
+    plans_per_sec: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float | None:
+        """Before/after wall-clock ratio (None without a before run)."""
+        if self.wall_before is None or self.wall_after <= 0:
+            return None
+        return self.wall_before / self.wall_after
+
+
+@dataclass
+class OptBenchReport:
+    """All timed cases of one harness invocation."""
+
+    seed: int
+    topology: str
+    repeats: int
+    cases: list[OptBenchCase] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        """Human-readable per-case latency/throughput table."""
+        lines = [
+            f"optimizer throughput ({self.topology} joins, seed={self.seed}, "
+            f"best of {self.repeats})",
+            f"{'rels':>5} {'space':<10} {'cands':>6} {'pruned':>7} "
+            f"{'sims':>5} {'before s':>9} {'after s':>8} {'speedup':>8} "
+            f"{'plans/sec':>10}",
+        ]
+        for case in self.cases:
+            before = (
+                f"{case.wall_before:>9.3f}" if case.wall_before is not None else f"{'-':>9}"
+            )
+            speedup = (
+                f"{case.speedup:>7.2f}x" if case.speedup is not None else f"{'-':>8}"
+            )
+            lines.append(
+                f"{case.n_relations:>5} {case.space:<10} {case.candidates:>6} "
+                f"{case.pruned:>7} {case.simulated:>5} {before} "
+                f"{case.wall_after:>8.3f} {speedup} {case.plans_per_sec:>10,.0f}"
+            )
+        if not all(case.identical for case in self.cases):
+            lines.append("PLAN MISMATCH: fast path chose a different plan")
+        return "\n".join(lines)
+
+    def to_entries(self, label: str) -> list[dict]:
+        """Before/after ``BENCH_OPT.json`` trajectory entries.
+
+        The *before* entry (fast path off) is only emitted when before
+        timings were collected.
+        """
+        def case_key(case: OptBenchCase) -> str:
+            return f"{case.n_relations}rel/{case.space}"
+
+        entries: list[dict] = []
+        if all(case.wall_before is not None for case in self.cases):
+            entries.append(
+                {
+                    "label": f"{label}/fast-path-off",
+                    "seed": self.seed,
+                    "topology": self.topology,
+                    "repeats": self.repeats,
+                    "fast_path": False,
+                    "workloads": {
+                        case_key(case): {
+                            "candidates": case.candidates,
+                            "wall_seconds": round(case.wall_before, 4),
+                            "plans_per_sec": round(
+                                case.candidates / case.wall_before
+                            )
+                            if case.wall_before
+                            else 0,
+                        }
+                        for case in self.cases
+                    },
+                }
+            )
+        entries.append(
+            {
+                "label": f"{label}/fast-path-on",
+                "seed": self.seed,
+                "topology": self.topology,
+                "repeats": self.repeats,
+                "fast_path": True,
+                "workloads": {
+                    case_key(case): {
+                        "candidates": case.candidates,
+                        "pruned": case.pruned,
+                        "parcost_hits": case.parcost_hits,
+                        "simulated": case.simulated,
+                        "wall_seconds": round(case.wall_after, 4),
+                        "plans_per_sec": round(case.plans_per_sec),
+                        "speedup_vs_off": round(case.speedup, 2)
+                        if case.speedup is not None
+                        else None,
+                        "plan_identical_to_off": case.identical,
+                    }
+                    for case in self.cases
+                },
+            }
+        )
+        return entries
+
+
+def bench_workload(
+    n_relations: int, *, topology: str = "star", seed: int = 0
+) -> JoinSchema:
+    """The seeded join workload for one benchmark case.
+
+    ``star`` builds a fact table with ``n_relations - 1`` dimensions
+    (the shape with the largest bushy space and the most structural
+    symmetry, which is where signature caching pays off); ``chain``
+    builds a linear join path.
+    """
+    if n_relations < 2:
+        raise OptimizerError("optbench needs at least 2 relations")
+    if topology == "star":
+        return star_join(
+            n_relations - 1,
+            fact_rows=_STAR_FACT_ROWS,
+            dimension_rows=_STAR_DIM_ROWS,
+            seed=seed,
+        )
+    if topology == "chain":
+        return chain_join(n_relations, rows_per_relation=_CHAIN_ROWS, seed=seed)
+    raise OptimizerError(f"unknown topology: {topology!r}")
+
+
+def time_optimize(
+    schema: JoinSchema,
+    space: str,
+    *,
+    fast_path: bool,
+    repeats: int = DEFAULT_REPEATS,
+) -> tuple[float, object, OptimizerCaches | None]:
+    """Time phase-1 optimization; wall time is the best of ``repeats``.
+
+    Every repeat starts from cold caches (a fresh
+    :class:`OptimizerCaches`), so the measurement is the cost of one
+    from-scratch optimization, not of a warm-cache replay.  Returns
+    ``(best wall seconds, chosen plan, last repeat's caches)``.
+    """
+    best = float("inf")
+    plan = None
+    caches = None
+    for _ in range(repeats):
+        caches = OptimizerCaches() if fast_path else None
+        objective = ParcostObjective(schema.catalog, caches=caches)
+        stats = caches.stats if caches is not None else None
+        start = time.perf_counter()
+        plan = enumerate_space(
+            schema.query, schema.catalog, objective, space=space, stats=stats
+        )
+        best = min(best, time.perf_counter() - start)
+    assert plan is not None
+    return best, plan, caches
+
+
+def run_optbench(
+    relations: tuple[int, ...] = DEFAULT_RELATIONS,
+    *,
+    spaces: tuple[str, ...] = DEFAULT_SPACES,
+    topology: str = "star",
+    seed: int = 0,
+    repeats: int = DEFAULT_REPEATS,
+    include_before: bool = True,
+) -> OptBenchReport:
+    """Time the optimizer across sizes and plan spaces.
+
+    With ``include_before`` (default) each case is also timed with the
+    fast path off and the two chosen plans are compared — a mismatch is
+    reported on the case (and loudly by :meth:`OptBenchReport.to_table`)
+    rather than raised, so a regression still produces the numbers that
+    localize it.
+    """
+    report = OptBenchReport(seed=seed, topology=topology, repeats=repeats)
+    for n_relations in relations:
+        schema = bench_workload(n_relations, topology=topology, seed=seed)
+        for space in spaces:
+            wall_after, fast_plan, caches = time_optimize(
+                schema, space, fast_path=True, repeats=repeats
+            )
+            assert caches is not None
+            stats = caches.stats
+            fast_key = plan_shape_key(fast_plan)
+            chosen_parcost = parcost(fast_plan, schema.catalog)
+            wall_before: float | None = None
+            identical = True
+            if include_before:
+                wall_before, slow_plan, _ = time_optimize(
+                    schema, space, fast_path=False, repeats=repeats
+                )
+                identical = plan_shape_key(slow_plan) == fast_key and (
+                    parcost(slow_plan, schema.catalog) == chosen_parcost
+                )
+            report.cases.append(
+                OptBenchCase(
+                    n_relations=n_relations,
+                    space=space,
+                    topology=topology,
+                    candidates=stats.candidates,
+                    costed=stats.costed,
+                    pruned=stats.pruned,
+                    parcost_hits=stats.parcost_hits,
+                    simulated=stats.simulated,
+                    chosen_parcost=chosen_parcost,
+                    wall_before=wall_before,
+                    wall_after=wall_after,
+                    plans_per_sec=stats.candidates / wall_after
+                    if wall_after > 0
+                    else 0.0,
+                    identical=identical,
+                )
+            )
+    return report
+
+
+def smoke_lines(*, seed: int = 0, topology: str = "star") -> list[str]:
+    """Byte-stable output of a small deterministic optimizer run.
+
+    Reports only deterministic quantities (candidate counts, prune and
+    cache counters, the chosen plan's parcost), never wall-clock, and
+    replays the search with the fast path off to assert plan identity —
+    two runs on any machines print the same bytes unless the
+    plan-identical guarantee itself broke.
+    """
+    schema = bench_workload(4, topology=topology, seed=seed)
+    caches = OptimizerCaches()
+    fast = ParcostObjective(schema.catalog, caches=caches)
+    fast_plan = enumerate_space(
+        schema.query, schema.catalog, fast, space="bushy", stats=caches.stats
+    )
+    slow = ParcostObjective(schema.catalog, caches=None)
+    slow_plan = enumerate_space(schema.query, schema.catalog, slow, space="bushy")
+    stats = caches.stats
+    fast_cost = parcost(fast_plan, schema.catalog)
+    slow_cost = parcost(slow_plan, schema.catalog)
+    lines = [
+        f"smoke: 4-relation {topology} join, bushy space, seed {seed}",
+        f"smoke: {stats.candidates} candidates, {stats.pruned} pruned, "
+        f"{stats.parcost_hits} cache hits, {stats.simulated} simulated",
+        f"smoke: chosen parcost {fast_cost:.6f}s",
+    ]
+    if plan_shape_key(fast_plan) != plan_shape_key(slow_plan) or fast_cost != slow_cost:
+        lines.append(
+            "smoke failed: fast path chose a different plan "
+            f"(parcost {fast_cost!r} vs {slow_cost!r})"
+        )
+    return lines

@@ -1,11 +1,14 @@
 """Optimizer subsystem: query specs, enumeration, parcost, two-phase."""
 
+from .cache import CacheStats, OptimizerCaches
 from .enumeration import (
     JOIN_METHODS,
     access_paths,
+    delivered_order,
     enumerate_all_bushy,
     enumerate_space,
     join_candidates,
+    plan_shape_key,
 )
 from .multiquery import (
     MultiQueryResult,
@@ -14,27 +17,40 @@ from .multiquery import (
     QuerySubmission,
     rewire_dependencies,
 )
-from .parcost import ParallelCost, parallel_cost, parcost
-from .query import JoinPredicate, Query
+from .parcost import (
+    ParallelCost,
+    ParcostObjective,
+    parallel_cost,
+    parcost,
+    parcost_lower_bound,
+)
+from .query import JoinGraph, JoinPredicate, Query
 from .twophase import OptimizedQuery, OptimizerMode, TwoPhaseOptimizer
 
 __all__ = [
     "JOIN_METHODS",
+    "CacheStats",
+    "JoinGraph",
     "JoinPredicate",
     "MultiQueryResult",
     "MultiQueryScheduler",
     "OptimizedQuery",
+    "OptimizerCaches",
     "OptimizerMode",
     "ParallelCost",
+    "ParcostObjective",
     "Query",
     "QueryOutcome",
     "QuerySubmission",
     "TwoPhaseOptimizer",
     "access_paths",
+    "delivered_order",
     "enumerate_all_bushy",
     "enumerate_space",
     "join_candidates",
     "parallel_cost",
     "parcost",
+    "parcost_lower_bound",
+    "plan_shape_key",
     "rewire_dependencies",
 ]

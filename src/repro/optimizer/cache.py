@@ -1,0 +1,117 @@
+"""Shared memos for the optimizer fast path.
+
+``parcost(p, n)`` simulates the scheduling algorithm over a plan's
+fragments, which makes it by far the most expensive cost function in
+the system: the DP over connected subsets evaluates thousands of
+candidate joins, and every evaluation used to mean a fresh bottom-up
+estimate plus a full :class:`~repro.sim.fluid.FluidSimulator` run.  Two
+observations make most of that work redundant:
+
+* the DP reuses subplan *objects*, so per-node estimates can be
+  memoized by ``node_id`` and only a candidate's new top nodes ever
+  need estimating;
+* the simulation depends only on the fragments' canonical scheduling
+  signature (:meth:`~repro.plans.fragments.FragmentGraph.signature`),
+  the machine and the policy — structurally equivalent subplans share
+  one simulation.
+
+:class:`OptimizerCaches` bundles both memos plus the hit/miss/skip
+counters (:class:`CacheStats`) that ``optbench --json`` records, so a
+benchmark entry states *why* it got faster.  Caching is exact — every
+cached value is the float the uncached path would have computed — so a
+fast-path optimizer chooses byte-identical plans; the golden-plan
+corpus test replays both paths to prove it.
+
+One caches object belongs to one ``(catalog, cost_model, machine
+family)``; reusing it after the catalog's statistics change (ANALYZE)
+would serve stale estimates.  Call :meth:`OptimizerCaches.clear` then.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..plans.costing import NodeEstimate
+
+
+@dataclass
+class CacheStats:
+    """Observability counters for one optimizer's fast path.
+
+    Attributes:
+        candidates: candidate plans the enumeration considered.
+        pruned: candidates dropped without a full cost call (beaten on
+            both the parcost lower bound and interesting order).
+        costed: candidates that reached the cost function.
+        parcost_hits: parcost calls answered from the signature cache.
+        parcost_misses: parcost calls that ran a fresh simulation.
+        estimate_hits: estimate requests whose whole plan tree was
+            already in the node memo.
+        estimate_misses: estimate requests that computed at least the
+            plan's root node.
+    """
+
+    candidates: int = 0
+    pruned: int = 0
+    costed: int = 0
+    parcost_hits: int = 0
+    parcost_misses: int = 0
+    estimate_hits: int = 0
+    estimate_misses: int = 0
+
+    @property
+    def simulated(self) -> int:
+        """Simulations actually run (alias of ``parcost_misses``)."""
+        return self.parcost_misses
+
+    @property
+    def parcost_hit_rate(self) -> float:
+        total = self.parcost_hits + self.parcost_misses
+        return self.parcost_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready counter dump (what ``optbench --json`` records)."""
+        return {
+            "candidates": self.candidates,
+            "pruned": self.pruned,
+            "costed": self.costed,
+            "parcost_hits": self.parcost_hits,
+            "parcost_misses": self.parcost_misses,
+            "estimate_hits": self.estimate_hits,
+            "estimate_misses": self.estimate_misses,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark repeats)."""
+        self.candidates = 0
+        self.pruned = 0
+        self.costed = 0
+        self.parcost_hits = 0
+        self.parcost_misses = 0
+        self.estimate_hits = 0
+        self.estimate_misses = 0
+
+
+@dataclass
+class OptimizerCaches:
+    """The fast path's memos: node estimates plus parcost-by-signature.
+
+    Attributes:
+        node_estimates: ``node_id`` -> :class:`NodeEstimate`.  Node ids
+            are process-unique, so entries from different plans never
+            collide; the memo pays off because the DP reuses subplan
+            objects across candidates.
+        parcost_elapsed: ``(signature, machine, policy key)`` ->
+            ``parcost`` (simulated elapsed seconds).
+        stats: the counters above, shared with the enumeration loop.
+    """
+
+    node_estimates: dict[int, NodeEstimate] = field(default_factory=dict)
+    parcost_elapsed: dict[tuple, float] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def clear(self) -> None:
+        """Drop every memo (required after the catalog's stats change)."""
+        self.node_estimates.clear()
+        self.parcost_elapsed.clear()
+        self.stats.reset()

@@ -12,7 +12,15 @@ The conventional (System-R style) layer under the two-phase strategy:
   subsumes both).
 
 Dynamic programming over connected subsets, cross products avoided
-whenever the join graph is connected.
+whenever the join graph is connected.  Ties on cost are broken by a
+deterministic canonical plan key (:func:`plan_shape_key`), so the
+chosen plan never depends on candidate generation order — which is what
+lets the fast path (memoized parcost plus branch-and-bound skipping,
+see :mod:`repro.optimizer.cache`) promise byte-identical plans: a
+candidate is only skipped when its provable cost lower bound *strictly*
+exceeds the incumbent's true cost and the incumbent also covers its
+interesting order, so no skipped candidate could have won either the
+cost comparison or the tie-break.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from ..catalog.catalog import Catalog
 from ..errors import OptimizerError
 from ..executor.expressions import column_bounds
 from ..plans import nodes as pn
+from .cache import CacheStats
 from .query import JoinPredicate, Query
 
 #: Join method names accepted by the enumerator.
@@ -112,6 +121,58 @@ def join_candidates(
         )
 
 
+def plan_shape_key(plan: pn.PlanNode) -> str:
+    """A deterministic canonical key for a plan's structure.
+
+    Built purely from node labels and tree shape — no node ids, no
+    object identity — so structurally equal plans map to equal keys
+    regardless of when or by which code path they were constructed.
+    Used as the cost tie-breaker: the DP keeps the candidate minimizing
+    ``(cost, plan_shape_key)``, making the chosen plan independent of
+    candidate generation order (and therefore reproducible across the
+    cached and uncached optimizer paths and stable in the golden-plan
+    corpus).
+    """
+    if not plan.children:
+        return plan.label()
+    inner = ",".join(plan_shape_key(child) for child in plan.children)
+    return f"{plan.label()}[{inner}]"
+
+
+def delivered_order(plan: pn.PlanNode) -> tuple[str, ...]:
+    """The sort order a subplan's output is known to satisfy.
+
+    Sort delivers its keys; merge join preserves the outer's join
+    column; order-preserving unary operators (filter, project, limit)
+    pass their child's order through; everything else delivers none.
+    This is the "interesting order" side of dominance pruning: an
+    incumbent only shadows a pruned candidate when it delivers at least
+    the candidate's order.
+    """
+    if isinstance(plan, pn.SortNode):
+        return tuple(plan.columns)
+    if isinstance(plan, pn.MergeJoinNode):
+        return (plan.outer_column,)
+    if isinstance(plan, (pn.FilterNode, pn.ProjectNode, pn.LimitNode)):
+        return delivered_order(plan.children[0])
+    return ()
+
+
+def _order_covered(candidate: tuple[str, ...], incumbent: tuple[str, ...]) -> bool:
+    """Does ``incumbent`` deliver every order ``candidate`` delivers?"""
+    return incumbent[: len(candidate)] == candidate
+
+
+#: Relative margin a candidate's lower bound must clear before it is
+#: pruned.  The bound is mathematically ``<= parcost``, but the two
+#: sides are computed through different float summation orders, so the
+#: bound can land a few ulps (~1e-16 relative) *above* the true cost.
+#: Requiring ``bound > incumbent * (1 + margin)`` absorbs that rounding
+#: noise with seven orders of magnitude to spare while costing
+#: essentially no pruning power.
+PRUNE_MARGIN = 1e-9
+
+
 def _proper_subsets(subset: frozenset[str]) -> Iterator[tuple[frozenset[str], frozenset[str]]]:
     """Unordered 2-partitions of ``subset`` (each yielded once)."""
     items = sorted(subset)
@@ -125,6 +186,55 @@ def _proper_subsets(subset: frozenset[str]) -> Iterator[tuple[frozenset[str], fr
                 yield left, right
 
 
+class _Incumbent:
+    """Streaming best-candidate tracker for one DP subset.
+
+    Keeps the candidate minimizing ``(cost, plan_shape_key)``.  When the
+    cost function exposes ``lower_bound`` (the fast path's
+    :class:`~repro.optimizer.parcost.ParcostObjective`), candidates
+    whose provable bound exceeds the current incumbent's true cost by
+    :data:`PRUNE_MARGIN` — and whose interesting order the incumbent
+    covers — are dropped without the expensive cost call.  Safety: the
+    skipped candidate's true cost is ``>= bound - ulp noise >
+    incumbent >= final best``, so it can never win or even tie the
+    ``(cost, key)`` minimum; near-ties inside the margin are always
+    costed and settled by the key, keeping the chosen plan
+    byte-identical to the unpruned search.
+    """
+
+    __slots__ = ("cost_fn", "lower_bound", "stats", "cost", "key", "plan", "order")
+
+    def __init__(self, cost_fn: PlanCost, stats: CacheStats | None) -> None:
+        self.cost_fn = cost_fn
+        self.lower_bound = getattr(cost_fn, "lower_bound", None)
+        self.stats = stats
+        self.cost: float | None = None
+        self.key: str | None = None
+        self.plan: pn.PlanNode | None = None
+        self.order: tuple[str, ...] = ()
+
+    def offer(self, candidate: pn.PlanNode) -> None:
+        stats = self.stats
+        if stats is not None:
+            stats.candidates += 1
+        if self.cost is not None and self.lower_bound is not None:
+            if self.lower_bound(candidate) > self.cost * (
+                1.0 + PRUNE_MARGIN
+            ) and _order_covered(delivered_order(candidate), self.order):
+                if stats is not None:
+                    stats.pruned += 1
+                return
+        cost = self.cost_fn(candidate)
+        if stats is not None:
+            stats.costed += 1
+        key = plan_shape_key(candidate)
+        if self.cost is None or (cost, key) < (self.cost, self.key):
+            self.cost = cost
+            self.key = key
+            self.plan = candidate
+            self.order = delivered_order(candidate)
+
+
 def enumerate_space(
     query: Query,
     catalog: Catalog,
@@ -133,6 +243,7 @@ def enumerate_space(
     space: str = "bushy",
     methods: tuple[str, ...] = JOIN_METHODS,
     avoid_cross_products: bool = True,
+    stats: CacheStats | None = None,
 ) -> pn.PlanNode:
     """Dynamic-programming search for the cheapest plan.
 
@@ -140,29 +251,41 @@ def enumerate_space(
         query: the query block.
         catalog: resolves schemas, indexes and statistics.
         cost: plan-cost function (seqcost or parcost); lower is better.
+            When it exposes a ``lower_bound(plan)`` method (see
+            :class:`~repro.optimizer.parcost.ParcostObjective`),
+            candidates provably beaten by the running incumbent are
+            skipped without costing.
         space: ``"left-deep"``, ``"right-deep"`` or ``"bushy"``.
         methods: join methods to consider.
         avoid_cross_products: skip unconnected splits when the join
             graph is connected.
+        stats: optional counters (candidates/pruned/costed) for
+            observability; shared with the caches' stats when the fast
+            path is on.
 
     Returns the best complete plan (projection applied when requested).
+    Ties on cost are broken by :func:`plan_shape_key`, so the result is
+    independent of enumeration order and of whether pruning ran.
     """
     if space not in ("left-deep", "right-deep", "bushy"):
         raise OptimizerError(f"unknown plan space: {space!r}")
     query.validate(catalog)
-    relations = [frozenset([r]) for r in query.relations]
+    graph = query.join_index()
     best: dict[frozenset[str], tuple[float, pn.PlanNode]] = {}
-    for rel_set in relations:
-        (name,) = rel_set
-        candidates = access_paths(query, name, catalog)
-        best[rel_set] = min(((cost(p), p) for p in candidates), key=lambda t: t[0])
+    for name in query.relations:
+        rel_set = frozenset([name])
+        incumbent = _Incumbent(cost, stats)
+        for path in access_paths(query, name, catalog):
+            incumbent.offer(path)
+        assert incumbent.plan is not None and incumbent.cost is not None
+        best[rel_set] = (incumbent.cost, incumbent.plan)
     full = frozenset(query.relations)
-    allow_cross = not (avoid_cross_products and query.is_connected(full))
+    allow_cross = not (avoid_cross_products and graph.is_connected(full))
     for size in range(2, len(query.relations) + 1):
         for subset in map(frozenset, combinations(sorted(full), size)):
-            if not allow_cross and not query.is_connected(subset):
+            if not allow_cross and not graph.is_connected(subset):
                 continue
-            candidates: list[tuple[float, pn.PlanNode]] = []
+            incumbent = _Incumbent(cost, stats)
             for left, right in _proper_subsets(subset):
                 pairs = [(left, right), (right, left)]
                 for outer_set, inner_set in pairs:
@@ -172,7 +295,7 @@ def enumerate_space(
                         continue
                     if outer_set not in best or inner_set not in best:
                         continue
-                    predicates = query.joins_between(outer_set, inner_set)
+                    predicates = graph.joins_between(outer_set, inner_set)
                     if not predicates and not allow_cross:
                         continue
                     outer_plan = best[outer_set][1]
@@ -180,9 +303,9 @@ def enumerate_space(
                     for join in join_candidates(
                         outer_plan, inner_plan, predicates, outer_set, methods=methods
                     ):
-                        candidates.append((cost(join), join))
-            if candidates:
-                best[subset] = min(candidates, key=lambda t: t[0])
+                        incumbent.offer(join)
+            if incumbent.plan is not None and incumbent.cost is not None:
+                best[subset] = (incumbent.cost, incumbent.plan)
     if full not in best:
         raise OptimizerError("no plan found (disconnected join graph?)")
     plan = best[full][1]
@@ -210,8 +333,9 @@ def enumerate_all_bushy(
             f"exhaustive enumeration capped at {max_relations} relations"
         )
     query.validate(catalog)
+    graph = query.join_index()
     full = frozenset(query.relations)
-    avoid_cross = query.is_connected(full)
+    avoid_cross = graph.is_connected(full)
     memo: dict[frozenset[str], list[pn.PlanNode]] = {}
 
     def plans_for(subset: frozenset[str]) -> list[pn.PlanNode]:
@@ -224,14 +348,14 @@ def enumerate_all_bushy(
             result = []
             for left, right in _proper_subsets(subset):
                 if avoid_cross and not (
-                    query.is_connected(left) and query.is_connected(right)
+                    graph.is_connected(left) and graph.is_connected(right)
                 ):
                     continue
-                predicates = query.joins_between(left, right)
+                predicates = graph.joins_between(left, right)
                 if avoid_cross and not predicates:
                     continue
                 for outer_set, inner_set in ((left, right), (right, left)):
-                    preds = query.joins_between(outer_set, inner_set)
+                    preds = graph.joins_between(outer_set, inner_set)
                     for outer_plan in plans_for(outer_set):
                         for inner_plan in plans_for(inner_set):
                             result.extend(

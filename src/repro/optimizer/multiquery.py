@@ -131,10 +131,18 @@ class MultiQueryScheduler:
         if len(set(names)) != len(names):
             raise OptimizerError("duplicate query names in batch")
         outcomes = []
+        caches = self._optimizer.caches
         for submission in submissions:
             plan = self._optimizer.choose_plan(submission.query, self.mode)
+            # The optimizer's node memo already holds every estimate the
+            # phase-1 search produced for this plan's nodes; threading it
+            # through makes this a lookup instead of a recosting pass.
             estimate = estimate_plan(
-                plan, self.catalog, cost_model=self.cost_model, machine=self.machine
+                plan,
+                self.catalog,
+                cost_model=self.cost_model,
+                machine=self.machine,
+                cache=caches.node_estimates if caches is not None else None,
             )
             fragments = fragment_plan(plan, estimate)
             named = [

@@ -11,6 +11,16 @@ order-dependencies between them.  We therefore compute it by running the
 fluid engine with the INTER-WITH-ADJ policy over the fragment tasks —
 the same machinery the runtime uses, so the estimate and the execution
 agree by construction.
+
+Because the simulation depends only on the fragments' canonical
+scheduling signature, the machine and the policy, structurally
+equivalent subplans share one simulation: with an
+:class:`~repro.optimizer.cache.OptimizerCaches` attached, repeat
+signatures are answered from the memo with the exact float the fresh
+run would have produced.  :class:`ParcostObjective` packages the cached
+cost function together with the provable lower bound
+``parcost >= max(seqcost / N, D / B)`` that the enumeration's
+branch-and-bound skip relies on.
 """
 
 from __future__ import annotations
@@ -19,12 +29,18 @@ from dataclasses import dataclass
 
 from ..catalog.catalog import Catalog
 from ..config import MachineConfig, paper_machine
-from ..core.schedulers import InterWithAdjPolicy, SchedulingPolicy
+from ..core.schedulers import (
+    InterWithAdjPolicy,
+    InterWithoutAdjPolicy,
+    IntraOnlyPolicy,
+    SchedulingPolicy,
+)
 from ..core.task import Task
 from ..plans.costing import CostModel, PlanEstimate, estimate_plan
 from ..plans.fragments import FragmentGraph, fragment_plan
 from ..plans.nodes import PlanNode
 from ..sim.fluid import FluidSimulator, ScheduleResult
+from .cache import OptimizerCaches
 
 
 @dataclass
@@ -52,6 +68,74 @@ class ParallelCost:
         return self.seqcost / self.elapsed if self.elapsed > 0 else 0.0
 
 
+def _policy_cache_key(policy: SchedulingPolicy | None) -> tuple | None:
+    """A hashable configuration key for ``policy``, or None if unknown.
+
+    Only exact instances of the three stock policies are keyable: a
+    subclass (or a policy carrying external state, like the serving
+    gate) could decide differently for the same configuration, so it
+    must not share cache entries.  ``None`` means "do not cache".
+    """
+    if policy is None:
+        policy = _DEFAULT_POLICY
+    cls = type(policy)
+    if cls is InterWithAdjPolicy:
+        return (
+            "INTER-WITH-ADJ",
+            policy.integral,
+            policy.use_effective_bandwidth,
+            policy.pairing,
+            policy.degradation_aware,
+            policy.rebalance_threshold,
+        )
+    if cls is InterWithoutAdjPolicy:
+        return (
+            "INTER-WITHOUT-ADJ",
+            policy.integral,
+            policy.use_effective_bandwidth,
+        )
+    if cls is IntraOnlyPolicy:
+        return ("INTRA-ONLY", policy.integral)
+    return None
+
+
+#: Shared default policy instance; ``FluidSimulator.run`` resets it, so
+#: reuse is safe and saves one construction per parcost call.
+_DEFAULT_POLICY = InterWithAdjPolicy()
+
+
+def _simulate(
+    fragments: FragmentGraph,
+    machine: MachineConfig,
+    policy: SchedulingPolicy | None,
+) -> tuple[list[Task], ScheduleResult]:
+    tasks = fragments.to_tasks()
+    simulator = FluidSimulator(machine, adjustment_overhead=0.0)
+    schedule = simulator.run(list(tasks), policy or _DEFAULT_POLICY)
+    return tasks, schedule
+
+
+def parcost_lower_bound(estimate: PlanEstimate, machine: MachineConfig) -> float:
+    """A provable lower bound on ``parcost(p, n)`` from cheap estimates.
+
+    The fluid engine caps the aggregate progress rate at ``N``
+    sequential-seconds per second (the processors) and the aggregate io
+    service rate at the nominal bandwidth ``B`` (effective bandwidth
+    never exceeds it), and adjustment overhead only adds work, so::
+
+        parcost(p, n) >= max(seqcost(p) / N, D(p) / B)
+
+    Candidates whose bound already exceeds the incumbent's true cost
+    cannot win and are skipped without simulating (branch-and-bound;
+    the skip is strict-inequality-only, so tie-breaking — and therefore
+    the chosen plan — is unchanged).
+    """
+    return max(
+        estimate.seqcost() / machine.processors,
+        estimate.total_ios() / machine.io_bandwidth,
+    )
+
+
 def parallel_cost(
     plan: PlanNode,
     catalog: Catalog,
@@ -59,6 +143,8 @@ def parallel_cost(
     machine: MachineConfig | None = None,
     cost_model: CostModel | None = None,
     policy: SchedulingPolicy | None = None,
+    caches: OptimizerCaches | None = None,
+    estimate: PlanEstimate | None = None,
 ) -> ParallelCost:
     """Compute ``parcost(p, n)`` with full intermediate artifacts.
 
@@ -69,13 +155,34 @@ def parallel_cost(
         cost_model: CPU-time constants for the sequential estimates.
         policy: scheduling policy to simulate (default: the paper's
             INTER-WITH-ADJ algorithm).
+        caches: optional fast-path memos; node estimates are reused and
+            the signature cache is (re)populated with this run's
+            elapsed time.
+        estimate: a precomputed :class:`PlanEstimate` for ``plan``
+            (e.g. the one the enumeration already derived), threaded
+            through instead of recosting the tree.
+
+    The full artifacts (fragments, tasks, schedule trace) always come
+    from a fresh simulation of *this* plan's tasks, so ``schedule``
+    records match ``tasks`` by id even when the scalar cache is warm.
     """
     machine = machine or paper_machine()
-    estimate = estimate_plan(plan, catalog, cost_model=cost_model, machine=machine)
+    if estimate is None:
+        estimate = estimate_plan(
+            plan,
+            catalog,
+            cost_model=cost_model,
+            machine=machine,
+            cache=caches.node_estimates if caches is not None else None,
+        )
     fragments = fragment_plan(plan, estimate)
-    tasks = fragments.to_tasks()
-    simulator = FluidSimulator(machine, adjustment_overhead=0.0)
-    schedule = simulator.run(list(tasks), policy or InterWithAdjPolicy())
+    tasks, schedule = _simulate(fragments, machine, policy)
+    if caches is not None:
+        key = _policy_cache_key(policy)
+        if key is not None:
+            caches.parcost_elapsed[(fragments.signature(), machine, key)] = (
+                schedule.elapsed
+            )
     return ParallelCost(
         plan=plan,
         estimate=estimate,
@@ -91,8 +198,125 @@ def parcost(
     *,
     machine: MachineConfig | None = None,
     cost_model: CostModel | None = None,
+    policy: SchedulingPolicy | None = None,
+    caches: OptimizerCaches | None = None,
+    estimate: PlanEstimate | None = None,
 ) -> float:
-    """``parcost(p, n)`` as a plain number (the optimizer's cost hook)."""
-    return parallel_cost(
-        plan, catalog, machine=machine, cost_model=cost_model
-    ).elapsed
+    """``parcost(p, n)`` as a plain number (the optimizer's cost hook).
+
+    With ``caches`` attached, plans whose fragment signature was already
+    simulated (for this machine and policy configuration) return the
+    memoized elapsed time without running the engine.
+    """
+    machine = machine or paper_machine()
+    if caches is None:
+        return parallel_cost(
+            plan,
+            catalog,
+            machine=machine,
+            cost_model=cost_model,
+            policy=policy,
+        ).elapsed
+    if estimate is None:
+        estimate = estimate_plan(
+            plan,
+            catalog,
+            cost_model=cost_model,
+            machine=machine,
+            cache=caches.node_estimates,
+        )
+    fragments = fragment_plan(plan, estimate)
+    key = _policy_cache_key(policy)
+    if key is None:
+        caches.stats.parcost_misses += 1
+        return _simulate(fragments, machine, policy)[1].elapsed
+    cache_key = (fragments.signature(), machine, key)
+    cached = caches.parcost_elapsed.get(cache_key)
+    if cached is not None:
+        caches.stats.parcost_hits += 1
+        return cached
+    caches.stats.parcost_misses += 1
+    elapsed = _simulate(fragments, machine, policy)[1].elapsed
+    caches.parcost_elapsed[cache_key] = elapsed
+    return elapsed
+
+
+class ParcostObjective:
+    """``parcost`` as a pluggable enumeration objective.
+
+    Callable like the plain cost hook, but optionally memoized
+    (``caches``) and exposing :meth:`lower_bound` so
+    :func:`~repro.optimizer.enumeration.enumerate_space` can
+    branch-and-bound.  With ``caches=None`` this is the unoptimized
+    path: every call estimates, fragments and simulates from scratch
+    and no pruning hook is offered — the reference the golden-plan
+    corpus compares the fast path against.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        machine: MachineConfig | None = None,
+        cost_model: CostModel | None = None,
+        policy: SchedulingPolicy | None = None,
+        caches: OptimizerCaches | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.machine = machine or paper_machine()
+        self.cost_model = cost_model
+        self.policy = policy
+        self.caches = caches
+        # One-slot memo: enumeration probes lower_bound(plan) and then
+        # costs the same plan object, so the estimate built for the
+        # bound is handed straight to parcost instead of re-walked.
+        self._memo_id = -1
+        self._memo_estimate: PlanEstimate | None = None
+        if caches is None:
+            # Shadow the method: the unoptimized reference path offers no
+            # pruning hook, so the enumeration costs every candidate.
+            self.lower_bound = None  # type: ignore[assignment]
+
+    @property
+    def stats(self):
+        return self.caches.stats if self.caches is not None else None
+
+    def __call__(self, plan: PlanNode) -> float:
+        estimate = self._estimate(plan) if self.caches is not None else None
+        return parcost(
+            plan,
+            self.catalog,
+            machine=self.machine,
+            cost_model=self.cost_model,
+            policy=self.policy,
+            caches=self.caches,
+            estimate=estimate,
+        )
+
+    def _estimate(self, plan: PlanNode) -> PlanEstimate:
+        caches = self.caches
+        if caches is not None and self._memo_id == plan.node_id:
+            assert self._memo_estimate is not None
+            caches.stats.estimate_hits += 1
+            return self._memo_estimate
+        cache = caches.node_estimates if caches is not None else None
+        if caches is not None:
+            if plan.node_id in caches.node_estimates:
+                caches.stats.estimate_hits += 1
+            else:
+                caches.stats.estimate_misses += 1
+        estimate = estimate_plan(
+            plan,
+            self.catalog,
+            cost_model=self.cost_model,
+            machine=self.machine,
+            cache=cache,
+        )
+        if caches is not None:
+            self._memo_id = plan.node_id
+            self._memo_estimate = estimate
+        return estimate
+
+    def lower_bound(self, plan: PlanNode) -> float:
+        """Cheap provable bound (see :func:`parcost_lower_bound`)."""
+        return parcost_lower_bound(self._estimate(plan), self.machine)

@@ -100,6 +100,18 @@ class Query:
         fa, fb = frozenset(a), frozenset(b)
         return [j for j in self.joins if j.connects(fa, fb)]
 
+    def join_index(self) -> "JoinGraph":
+        """A precomputed :class:`JoinGraph` over this query.
+
+        The DP in :func:`~repro.optimizer.enumeration.enumerate_space`
+        calls :meth:`joins_between` and :meth:`is_connected` once per
+        subset split, which scans ``self.joins`` every time.  The index
+        answers both from per-relation adjacency plus a per-subset
+        connectivity memo.  It is a snapshot: mutating the query after
+        building the index is not reflected.
+        """
+        return JoinGraph(self)
+
     def is_connected(self, subset: frozenset[str]) -> bool:
         """Is the join graph restricted to ``subset`` connected?"""
         if len(subset) <= 1:
@@ -117,3 +129,62 @@ class Query:
             frontier = reachable
             remaining -= reachable
         return not remaining
+
+
+class JoinGraph:
+    """Precomputed adjacency view of one query's join graph.
+
+    Answers the two questions the enumeration DP hammers —
+    :meth:`joins_between` and :meth:`is_connected` — without rescanning
+    ``query.joins``.  Results are exactly those of the
+    :class:`Query` methods: predicate lists come back in ``query.joins``
+    order (the enumerator's choice of primary predicate, and therefore
+    the chosen plan, must not depend on which path built the list).
+    """
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        #: relation -> set of directly joined relations.
+        self.adjacency: dict[str, set[str]] = {r: set() for r in query.relations}
+        #: unordered relation pair -> [(position in query.joins, predicate)].
+        self._by_pair: dict[frozenset[str], list[tuple[int, JoinPredicate]]] = {}
+        for position, join in enumerate(query.joins):
+            self.adjacency.setdefault(join.left_rel, set()).add(join.right_rel)
+            self.adjacency.setdefault(join.right_rel, set()).add(join.left_rel)
+            pair = frozenset((join.left_rel, join.right_rel))
+            self._by_pair.setdefault(pair, []).append((position, join))
+        self._connected: dict[frozenset[str], bool] = {}
+
+    def joins_between(
+        self, a: frozenset[str], b: frozenset[str]
+    ) -> list[JoinPredicate]:
+        """Predicates connecting ``a`` and ``b``, in ``query.joins`` order."""
+        found: list[tuple[int, JoinPredicate]] = []
+        for ra in a:
+            for rb in self.adjacency.get(ra, ()):
+                if rb in b:
+                    found.extend(self._by_pair[frozenset((ra, rb))])
+        found.sort(key=lambda entry: entry[0])
+        return [join for __, join in found]
+
+    def is_connected(self, subset: frozenset[str]) -> bool:
+        """Memoized connectivity of the join graph restricted to ``subset``."""
+        cached = self._connected.get(subset)
+        if cached is not None:
+            return cached
+        if len(subset) <= 1:
+            result = True
+        else:
+            remaining = set(subset)
+            start = next(iter(subset))
+            frontier = {start}
+            remaining.discard(start)
+            while frontier and remaining:
+                reachable = set()
+                for rel in frontier:
+                    reachable |= self.adjacency.get(rel, set()) & remaining
+                frontier = reachable
+                remaining -= reachable
+            result = not remaining
+        self._connected[subset] = result
+        return result

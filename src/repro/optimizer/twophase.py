@@ -16,6 +16,13 @@ Three optimizer modes map onto the paper:
 * ``BUSHY_SEQ`` — bushy space, still seqcost (an ablation: bushy shape
   without parallel-aware costing).
 * ``BUSHY_PAR`` — Section 4: bushy space costed by ``parcost(p, n)``.
+
+By default the optimizer runs its **fast path**: per-node estimate
+memoization, signature-keyed parcost caching and branch-and-bound
+candidate skipping (see :mod:`repro.optimizer.cache`).  The fast path
+is plan-identical — ``fast_path=False`` searches exhaustively with no
+memos and chooses the same plan with the same cost, which the
+golden-plan corpus test asserts exactly.
 """
 
 from __future__ import annotations
@@ -29,8 +36,9 @@ from ..core.schedulers import SchedulingPolicy
 from ..errors import OptimizerError
 from ..plans.costing import CostModel, estimate_plan
 from ..plans.nodes import PlanNode
+from .cache import CacheStats, OptimizerCaches
 from .enumeration import JOIN_METHODS, enumerate_space
-from .parcost import ParallelCost, parallel_cost, parcost
+from .parcost import ParallelCost, ParcostObjective, parallel_cost
 from .query import Query
 
 
@@ -50,6 +58,10 @@ class OptimizedQuery:
     mode: OptimizerMode
     plan: PlanNode
     parallel: ParallelCost
+    #: Fast-path counters covering this optimization (None when the
+    #: optimizer ran with ``fast_path=False``).  A snapshot: numbers are
+    #: cumulative per optimizer instance, captured at return time.
+    stats: dict | None = None
 
     @property
     def predicted_elapsed(self) -> float:
@@ -65,6 +77,11 @@ class TwoPhaseOptimizer:
             single-user setting).
         cost_model: CPU constants shared by both cost functions.
         methods: join methods the enumerator may use.
+        fast_path: enable the memoized/pruned optimizer (default).  The
+            caches live on the optimizer instance and are shared across
+            queries — correct as long as the catalog's statistics do
+            not change underneath it; call ``caches.clear()`` after an
+            ANALYZE-style refresh.
     """
 
     def __init__(
@@ -74,11 +91,21 @@ class TwoPhaseOptimizer:
         machine: MachineConfig | None = None,
         cost_model: CostModel | None = None,
         methods: tuple[str, ...] = JOIN_METHODS,
+        fast_path: bool = True,
     ) -> None:
         self.catalog = catalog
         self.machine = machine or paper_machine()
         self.cost_model = cost_model
         self.methods = methods
+        self.fast_path = fast_path
+        self.caches: OptimizerCaches | None = (
+            OptimizerCaches() if fast_path else None
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """Cumulative fast-path counters (None with ``fast_path=False``)."""
+        return self.caches.stats if self.caches is not None else None
 
     # -- phase 1 -------------------------------------------------------------------
 
@@ -86,11 +113,11 @@ class TwoPhaseOptimizer:
         """Phase 1: pick the best sequential plan under ``mode``."""
         if mode == OptimizerMode.BUSHY_PAR:
             space = "bushy"
-            cost = lambda plan: parcost(  # noqa: E731
-                plan,
+            cost = ParcostObjective(
                 self.catalog,
                 machine=self.machine,
                 cost_model=self.cost_model,
+                caches=self.caches,
             )
         elif mode == OptimizerMode.BUSHY_SEQ:
             space = "bushy"
@@ -101,12 +128,27 @@ class TwoPhaseOptimizer:
         else:  # pragma: no cover - exhaustiveness guard
             raise OptimizerError(f"unknown mode: {mode!r}")
         return enumerate_space(
-            query, self.catalog, cost, space=space, methods=self.methods
+            query,
+            self.catalog,
+            cost,
+            space=space,
+            methods=self.methods,
+            stats=self.cache_stats,
         )
 
     def _seqcost(self, plan: PlanNode) -> float:
+        caches = self.caches
+        if caches is not None:
+            if plan.node_id in caches.node_estimates:
+                caches.stats.estimate_hits += 1
+            else:
+                caches.stats.estimate_misses += 1
         return estimate_plan(
-            plan, self.catalog, cost_model=self.cost_model, machine=self.machine
+            plan,
+            self.catalog,
+            cost_model=self.cost_model,
+            machine=self.machine,
+            cache=caches.node_estimates if caches is not None else None,
         ).seqcost()
 
     # -- phase 2 -------------------------------------------------------------------
@@ -121,6 +163,7 @@ class TwoPhaseOptimizer:
             machine=self.machine,
             cost_model=self.cost_model,
             policy=policy,
+            caches=self.caches,
         )
 
     # -- both ---------------------------------------------------------------------
@@ -135,4 +178,11 @@ class TwoPhaseOptimizer:
         """Run both phases and return the full result."""
         plan = self.choose_plan(query, mode)
         parallel = self.parallelize(plan, policy=policy)
-        return OptimizedQuery(query=query, mode=mode, plan=plan, parallel=parallel)
+        stats = self.cache_stats
+        return OptimizedQuery(
+            query=query,
+            mode=mode,
+            plan=plan,
+            parallel=parallel,
+            stats=stats.as_dict() if stats is not None else None,
+        )

@@ -134,11 +134,23 @@ def estimate_plan(
     *,
     cost_model: CostModel | None = None,
     machine: MachineConfig | None = None,
+    cache: dict[int, NodeEstimate] | None = None,
 ) -> PlanEstimate:
-    """Estimate every node of ``plan`` bottom-up."""
+    """Estimate every node of ``plan`` bottom-up.
+
+    Args:
+        cache: optional per-node memo keyed by ``node_id``.  The DP
+            search reuses subplan *objects* across thousands of
+            candidate joins, so with a shared cache only the nodes a
+            candidate adds on top are estimated; already-seen subtrees
+            are copied out of the memo.  The caller owns the cache and
+            must not reuse it across different catalogs, cost models or
+            machines (node ids are process-unique, so distinct plans
+            never collide, but stale statistics would go unnoticed).
+    """
     estimator = _Estimator(catalog, cost_model or CostModel(), machine or paper_machine())
     by_node: dict[int, NodeEstimate] = {}
-    estimator.visit(plan, by_node)
+    estimator.visit(plan, by_node, cache)
     return PlanEstimate(plan=plan, by_node=by_node, machine=estimator.machine)
 
 
@@ -150,13 +162,29 @@ class _Estimator:
         self.cost = cost
         self.machine = machine
 
-    def visit(self, node: pn.PlanNode, out: dict[int, NodeEstimate]) -> NodeEstimate:
-        child_estimates = [self.visit(c, out) for c in node.children]
+    def visit(
+        self,
+        node: pn.PlanNode,
+        out: dict[int, NodeEstimate],
+        cache: dict[int, NodeEstimate] | None = None,
+    ) -> NodeEstimate:
+        if cache is not None:
+            hit = cache.get(node.node_id)
+            if hit is not None:
+                # A cached root implies every descendant was cached by
+                # the same bottom-up pass; copy the whole subtree out so
+                # the PlanEstimate covers exactly this plan's nodes.
+                for sub in node.walk():
+                    out[sub.node_id] = cache[sub.node_id]
+                return hit
+        child_estimates = [self.visit(c, out, cache) for c in node.children]
         method = getattr(self, f"_visit_{type(node).__name__}", None)
         if method is None:
             raise OptimizerError(f"no cost rule for {type(node).__name__}")
         estimate = method(node, child_estimates)
         out[node.node_id] = estimate
+        if cache is not None:
+            cache[node.node_id] = estimate
         return estimate
 
     # -- base stats helpers --------------------------------------------------------
@@ -210,8 +238,10 @@ class _Estimator:
         """Clamp distinct counts to the (reduced) row count."""
         cap = max(1, int(rows))
         return {
-            name: ColumnStats(
-                n_distinct=min(s.n_distinct, cap),
+            name: s
+            if s.n_distinct <= cap
+            else ColumnStats(
+                n_distinct=cap,
                 min_value=s.min_value,
                 max_value=s.max_value,
                 null_fraction=s.null_fraction,

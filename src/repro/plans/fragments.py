@@ -120,6 +120,36 @@ class FragmentGraph:
                 remaining.discard(fragment.fragment_id)
         return order
 
+    def signature(self) -> tuple:
+        """Canonical scheduling signature of this fragment set.
+
+        The tuple captures everything the scheduling simulation can
+        observe about the fragments — each fragment's ``(T, D, pattern,
+        memory)`` profile plus the dependency shape over fragment
+        indices — and nothing else (no node ids, no task ids, no plan
+        object identity).  Fragment ids are assigned by a deterministic
+        tree traversal, so two structurally equivalent plans produce
+        equal signatures, which is what lets ``parcost`` share one
+        simulation across equivalent subplans (the optimizer fast
+        path).  Fragments must be profiled (built with a PlanEstimate).
+        """
+        for fragment in self.fragments:
+            if fragment.seq_time <= 0:
+                raise PlanError(
+                    f"fragment {fragment.fragment_id} has no cost profile; "
+                    "signatures need a PlanEstimate-backed fragmentation"
+                )
+        return tuple(
+            (
+                f.seq_time,
+                f.io_count,
+                f.io_pattern.value,
+                f.memory_bytes,
+                tuple(sorted(f.depends_on)),
+            )
+            for f in self.fragments
+        )
+
     def to_tasks(self) -> list[Task]:
         """Scheduler tasks for every fragment, wired with the
         order-dependencies induced by the blocking edges."""

@@ -15,6 +15,16 @@ resource-utilization integrals.
 This is the substrate for the Figure-7 experiment; the page-level
 micro simulator (``repro.sim.micro``) cross-checks it with explicit
 slave backends and adjustment protocols.
+
+The event loop is on the optimizer's critical path (``parcost``
+simulates it for every costed candidate), so the hot structures carry
+``__slots__``, per-task constants (io rate, io pattern) are cached at
+start time, the ready-pending and running views are memoized between
+state changes, and the per-event rate solve builds one list instead of
+dicts.  All of it is float-order-preserving: every sum and product
+happens over the same values in the same order as the straightforward
+implementation, so traces are byte-identical — the sim corpus tests
+pin that down to ``float.hex`` equality.
 """
 
 from __future__ import annotations
@@ -40,22 +50,29 @@ _MAX_EVENTS = 1_000_000
 _EPS = 1e-9
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _Running:
-    """Engine-internal record of a running task."""
+    """Engine-internal record of a running task.
+
+    ``io_rate`` and ``io_pattern`` duplicate the task's values so the
+    per-event rate solve reads one attribute instead of re-deriving the
+    rate from ``io_count / seq_time`` on every event.
+    """
 
     task: Task
     parallelism: float
     remaining: float  # sequential-seconds of work left
     started_at: float
     history: list[tuple[float, float]] = field(default_factory=list)
+    io_rate: float = 0.0
+    io_pattern: IOPattern = IOPattern.SEQUENTIAL
 
     @property
     def remaining_seq_time(self) -> float:
         return self.remaining
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskRecord:
     """Trace of one completed task."""
 
@@ -74,7 +91,7 @@ class TaskRecord:
         return self.started_at - self.task.arrival_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShedRecord:
     """Trace of one task dropped by a :class:`~repro.core.schedulers.Shed`."""
 
@@ -169,6 +186,9 @@ class FluidSimulator:
         #: every event; memoizing avoids rebuilding two dataclasses per
         #: event while a window is open.
         self._machine_by_scale: dict[float, MachineConfig] = {}
+        # Hoisted per-event constants (the machine is immutable).
+        self._processors = float(machine.processors)
+        self._nominal_bandwidth = machine.io_bandwidth
 
     def _multiplier_at(self, t: float) -> float:
         """Array-wide bandwidth factor at time ``t`` (1.0 = healthy)."""
@@ -210,14 +230,17 @@ class FluidSimulator:
         cpu_busy = 0.0
         io_served = 0.0
         peak_memory = 0.0
+        healthy = not self.degradations
         for __ in range(_MAX_EVENTS):
-            state.effective_machine = self._effective_machine(state.clock)
+            if not healthy:
+                state.effective_machine = self._effective_machine(state.clock)
             actions = policy.decide(state)
-            adjustments += self._apply(state, actions)
-            peak_memory = max(
-                peak_memory,
-                sum(r.task.memory_bytes for r in state.running_map.values()),
-            )
+            if actions:
+                adjustments += self._apply(state, actions)
+            # Memory sum is maintained on membership change, with the
+            # same summation order a per-event resum would use.
+            if state.memory_in_use > peak_memory:
+                peak_memory = state.memory_in_use
             if state.done() and policy.next_wakeup(state.clock) is None:
                 break
             # Rates under the current allocation.
@@ -233,10 +256,10 @@ class FluidSimulator:
                     f"(pending={[t.name for t in state.pending]})"
                 )
             dt = max(horizon, 0.0)
-            for run, rate in rates.items():
+            for run, rate in rates:
                 run.remaining -= rate * dt
                 cpu_busy += run.parallelism * dt
-                io_served += run.task.io_rate * rate * dt
+                io_served += run.io_rate * rate * dt
             state.clock += dt
             state.settle()
         else:
@@ -273,38 +296,42 @@ class FluidSimulator:
                 raise SimulationError(f"unknown action: {action!r}")
         return adjustments
 
-    def _rates(self, state: "_SimState") -> dict[_Running, float]:
+    def _rates(self, state: "_SimState") -> list[tuple[_Running, float]]:
         """Work-progress rate of each running task (seq-seconds/second)."""
-        running = list(state.running_map.values())
+        running = state.running
         if not running:
-            return {}
+            return []
         total_x = sum(r.parallelism for r in running)
-        cpu_scale = min(1.0, self.machine.processors / total_x) if total_x > 0 else 1.0
-        demand = {r: r.task.io_rate * r.parallelism * cpu_scale for r in running}
-        total_demand = sum(demand.values())
+        cpu_scale = min(1.0, self._processors / total_x) if total_x > 0 else 1.0
+        demand = [r.io_rate * r.parallelism * cpu_scale for r in running]
+        total_demand = sum(demand)
         bandwidth = self._bandwidth(running, demand)
         io_scale = (
             min(1.0, bandwidth / total_demand) if total_demand > _EPS else 1.0
         )
-        return {r: r.parallelism * cpu_scale * io_scale for r in running}
+        return [(r, r.parallelism * cpu_scale * io_scale) for r in running]
 
-    def _bandwidth(self, running: list[_Running], demand: dict[_Running, float]) -> float:
+    def _bandwidth(self, running: list[_Running], demand: list[float]) -> float:
         if not self.use_effective_bandwidth:
-            return self.machine.io_bandwidth
+            return self._nominal_bandwidth
         seq_rates = [
-            demand[r]
-            for r in running
-            if r.task.io_pattern == IOPattern.SEQUENTIAL
+            d
+            for r, d in zip(running, demand)
+            if r.io_pattern == IOPattern.SEQUENTIAL
         ]
         random_total = sum(
-            demand[r] for r in running if r.task.io_pattern == IOPattern.RANDOM
+            d
+            for r, d in zip(running, demand)
+            if r.io_pattern == IOPattern.RANDOM
         )
         return effective_bandwidth_mix(self.machine, seq_rates, random_total)
 
-    def _next_event_in(self, state: "_SimState", rates: dict[_Running, float]) -> float | None:
+    def _next_event_in(
+        self, state: "_SimState", rates: list[tuple[_Running, float]]
+    ) -> float | None:
         """Seconds until the next completion or arrival."""
         horizons = []
-        for run, rate in rates.items():
+        for run, rate in rates:
             if rate > _EPS:
                 horizons.append(run.remaining / rate)
         next_arrival = state.next_arrival_in()
@@ -316,21 +343,49 @@ class FluidSimulator:
 
 
 class _SimState:
-    """Mutable simulation state; doubles as the policy's EngineState."""
+    """Mutable simulation state; doubles as the policy's EngineState.
+
+    The ``running`` and ``pending`` views are memoized and invalidated
+    on the state transitions that can change them (start, shed,
+    completion, arrival) — policies call both several times per event
+    and must treat the returned lists as read-only snapshots.
+    """
+
+    __slots__ = (
+        "machine",
+        "effective_machine",
+        "clock",
+        "running_map",
+        "records",
+        "shed_records",
+        "completed_ids",
+        "memory_in_use",
+        "_arrivals",
+        "_pending",
+        "_counter",
+        "_running_view",
+        "_ready_view",
+    )
 
     def __init__(self, machine: MachineConfig, tasks: list[Task]) -> None:
         self.machine = machine
+        self.effective_machine = machine
         self.clock = 0.0
         self.running_map: dict[int, _Running] = {}
         self.records: list[TaskRecord] = []
         self.shed_records: list[ShedRecord] = []
         self.completed_ids: set[int] = set()
+        #: Sum of running tasks' working sets, maintained on membership
+        #: change (same floats, same order as a per-event resum).
+        self.memory_in_use = 0.0
         self._arrivals: list[tuple[float, int, Task]] = [
             (t.arrival_time, i, t) for i, t in enumerate(tasks)
         ]
         heapq.heapify(self._arrivals)
         self._pending: list[Task] = []
         self._counter = itertools.count(len(tasks))
+        self._running_view: list[_Running] | None = []
+        self._ready_view: list[Task] | None = None
         self._drain_arrivals()
 
     # -- EngineState protocol --------------------------------------------------------
@@ -341,14 +396,28 @@ class _SimState:
 
     @property
     def running(self) -> list[_Running]:
-        return list(self.running_map.values())
+        view = self._running_view
+        if view is None:
+            view = self._running_view = list(self.running_map.values())
+        return view
 
     @property
     def pending(self) -> list[Task]:
         """Arrived tasks that are *ready*: all dependencies completed."""
-        return [t for t in self._pending if t.depends_on <= self.completed_ids]
+        view = self._ready_view
+        if view is None:
+            completed = self.completed_ids
+            view = self._ready_view = [
+                t for t in self._pending if t.depends_on <= completed
+            ]
+        return view
 
     # -- mutation ----------------------------------------------------------------------
+
+    def _resum_memory(self) -> None:
+        self.memory_in_use = sum(
+            r.task.memory_bytes for r in self.running_map.values()
+        )
 
     def start(self, task: Task, parallelism: float) -> None:
         if task.task_id in self.running_map:
@@ -365,8 +434,13 @@ class _SimState:
             remaining=task.seq_time,
             started_at=self.clock,
             history=[(self.clock, parallelism)],
+            io_rate=task.io_rate,
+            io_pattern=task.io_pattern,
         )
         self.running_map[task.task_id] = run
+        self._running_view = None
+        self._ready_view = None
+        self._resum_memory()
 
     def shed(self, task: Task) -> None:
         """Drop a pending (possibly not-yet-ready) task without running it."""
@@ -377,29 +451,39 @@ class _SimState:
         except ValueError:
             raise SimulationError(f"{task!r} is not pending") from None
         self.shed_records.append(ShedRecord(task=task, shed_at=self.clock))
+        self._ready_view = None
 
     def settle(self) -> None:
         """Retire finished tasks and admit due arrivals."""
         finished = [
             run for run in self.running_map.values() if run.remaining <= _EPS
         ]
-        for run in finished:
-            del self.running_map[run.task.task_id]
-            self.completed_ids.add(run.task.task_id)
-            self.records.append(
-                TaskRecord(
-                    task=run.task,
-                    started_at=run.started_at,
-                    finished_at=self.clock,
-                    parallelism_history=tuple(run.history),
+        if finished:
+            for run in finished:
+                del self.running_map[run.task.task_id]
+                self.completed_ids.add(run.task.task_id)
+                self.records.append(
+                    TaskRecord(
+                        task=run.task,
+                        started_at=run.started_at,
+                        finished_at=self.clock,
+                        parallelism_history=tuple(run.history),
+                    )
                 )
-            )
+            self._running_view = None
+            self._ready_view = None
+            self._resum_memory()
         self._drain_arrivals()
 
     def _drain_arrivals(self) -> None:
-        while self._arrivals and self._arrivals[0][0] <= self.clock + _EPS:
-            __, __, task = heapq.heappop(self._arrivals)
+        arrivals = self._arrivals
+        if not arrivals:
+            return
+        deadline = self.clock + _EPS
+        while arrivals and arrivals[0][0] <= deadline:
+            __, __, task = heapq.heappop(arrivals)
             self._pending.append(task)
+            self._ready_view = None
 
     def next_arrival_in(self) -> float | None:
         if not self._arrivals:

@@ -1,0 +1,23 @@
+"""Shared fixtures for the bench test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def run_cli(capsys):
+    """Invoke the ``python -m repro`` CLI in-process.
+
+    Returns ``(exit_code, stdout_lines)`` so smoke subcommands can be
+    exercised exactly as a shell would run them.
+    """
+
+    def invoke(*argv: str):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out.splitlines()
+
+    return invoke

@@ -1,0 +1,83 @@
+"""Shared fixtures for the golden-plan corpus.
+
+The corpus (``tests/optimizer/data/plan_corpus.json``) freezes the plan
+the *reference* optimizer — the uncached, unpruned search — chooses for
+a fixed set of seeded workloads across all three plan spaces, together
+with each plan's ``parcost`` serialized via ``float.hex()`` so the
+comparison is exact to the last bit.  The replay test in
+``test_plan_corpus.py`` re-runs every configuration with the fast path
+off *and* on and asserts both reproduce the frozen plan exactly, which
+is the plan-identical guarantee the optimizer fast path promises.
+
+Regenerate (only when a plan change is *intended* and reviewed)::
+
+    PYTHONPATH=src python -m tests.optimizer.corpus_tools
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.optimizer import (
+    OptimizerCaches,
+    ParcostObjective,
+    enumerate_space,
+    parcost,
+    plan_shape_key,
+)
+from repro.workloads.queries import chain_join, star_join
+
+CORPUS_PATH = Path(__file__).parent / "data" / "plan_corpus.json"
+
+SPACES = ("left-deep", "right-deep", "bushy")
+
+#: (label, factory) — the corpus workloads.  Small enough that the
+#: replay test re-optimizes each one twice in well under a second, but
+#: covering both topologies, several seeds and cost-tied symmetric
+#: subplans (the star shapes), which is where tie-breaking and pruning
+#: could silently change the choice.
+WORKLOADS = (
+    ("chain3/seed0", lambda: chain_join(3, rows_per_relation=300, seed=0)),
+    ("chain3/seed1", lambda: chain_join(3, rows_per_relation=300, seed=1)),
+    ("chain4/seed0", lambda: chain_join(4, rows_per_relation=300, seed=0)),
+    ("star3/seed0", lambda: star_join(3, fact_rows=400, dimension_rows=80, seed=0)),
+    ("star3/seed1", lambda: star_join(3, fact_rows=400, dimension_rows=80, seed=1)),
+)
+
+
+def choose(schema, space, *, fast_path):
+    """Run one phase-1 search; returns (shape key, parcost float)."""
+    caches = OptimizerCaches() if fast_path else None
+    objective = ParcostObjective(schema.catalog, caches=caches)
+    stats = caches.stats if caches is not None else None
+    plan = enumerate_space(
+        schema.query, schema.catalog, objective, space=space, stats=stats
+    )
+    return plan_shape_key(plan), parcost(plan, schema.catalog)
+
+
+def build_corpus():
+    """All golden plans from the reference (uncached) search."""
+    corpus = {}
+    for label, factory in WORKLOADS:
+        schema = factory()
+        for space in SPACES:
+            shape, cost = choose(schema, space, fast_path=False)
+            corpus[f"{label}/{space}"] = {
+                "shape": shape,
+                "parcost": cost.hex(),
+            }
+    return corpus
+
+
+def main():
+    """Regenerate the corpus file from the current reference search."""
+    CORPUS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    corpus = build_corpus()
+    CORPUS_PATH.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(corpus)} golden plans to {CORPUS_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Golden-plan replay: the fast path chooses byte-identical plans.
+
+The corpus freezes the reference optimizer's choices (plan shape plus
+``parcost`` to ``float.hex`` exactness).  Every configuration is
+replayed twice — fast path off and on — and both must reproduce the
+frozen plan exactly.  A failure here means either the reference search
+drifted (intended plan changes require a reviewed corpus regeneration,
+see ``corpus_tools.py``) or the fast path's caching/pruning changed a
+choice, which its safety argument says can never happen.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from .corpus_tools import CORPUS_PATH, SPACES, WORKLOADS, choose
+
+
+def _corpus():
+    assert CORPUS_PATH.exists(), (
+        "golden-plan corpus missing; regenerate with "
+        "PYTHONPATH=src python -m tests.optimizer.corpus_tools"
+    )
+    return json.loads(CORPUS_PATH.read_text())
+
+
+CORPUS = _corpus()
+
+CONFIGS = [
+    (label, factory, space)
+    for label, factory in WORKLOADS
+    for space in SPACES
+]
+
+
+@pytest.mark.parametrize(
+    "label, factory, space",
+    CONFIGS,
+    ids=[f"{label}/{space}" for label, __, space in CONFIGS],
+)
+class TestGoldenPlans:
+    def test_reference_path_matches_corpus(self, label, factory, space):
+        golden = CORPUS[f"{label}/{space}"]
+        shape, cost = choose(factory(), space, fast_path=False)
+        assert shape == golden["shape"]
+        assert cost.hex() == golden["parcost"]
+
+    def test_fast_path_matches_corpus(self, label, factory, space):
+        golden = CORPUS[f"{label}/{space}"]
+        shape, cost = choose(factory(), space, fast_path=True)
+        assert shape == golden["shape"]
+        assert cost.hex() == golden["parcost"]
+
+
+def test_corpus_covers_every_configuration():
+    assert set(CORPUS) == {
+        f"{label}/{space}" for label, __ in WORKLOADS for space in SPACES
+    }

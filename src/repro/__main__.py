@@ -12,6 +12,7 @@ Commands:
 * ``chaos``     — run the simulator under an injected fault schedule.
 * ``perf``      — time the micro engine's pages/sec throughput.
 * ``optbench``  — time the optimizer's plans/sec throughput.
+* ``trace``     — record a unified trace and export it (Chrome/JSON).
 
 Exit codes: ``0`` success, ``1`` command-specific failure, ``2`` bad
 arguments (argparse usage errors), ``3`` a :class:`~repro.errors.ReproError`
@@ -305,6 +306,43 @@ def _cmd_optbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import flat_json, run_trace, smoke_lines, validate_chrome
+
+    if args.smoke:
+        # Byte-stable: virtual-time event counts and simulated
+        # quantities only, never wall-clock.
+        lines = smoke_lines(seed=args.seed)
+        print("\n".join(lines))
+        if any(line.startswith("smoke failed") for line in lines):
+            return 1
+        return 0
+    report = run_trace(
+        args.seed,
+        n_tasks=args.tasks,
+        max_pages=args.max_pages,
+        n_submissions=args.submissions,
+        faulted=not args.healthy,
+    )
+    print(report.summary())
+    print()
+    print(report.metrics.to_table())
+    if args.chrome is not None:
+        text = report.chrome_json()
+        problem = validate_chrome(text)
+        if problem is not None:
+            print(f"trace failed: chrome export invalid ({problem})", file=sys.stderr)
+            return 1
+        Path(args.chrome).write_text(text)
+        print(f"wrote Chrome trace to {args.chrome} (open in Perfetto)")
+    if args.json is not None:
+        Path(args.json).write_text(flat_json(report.tracer, report.metrics))
+        print(f"wrote flat trace JSON to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -548,6 +586,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick deterministic run, byte-stable output",
     )
     optbench.set_defaults(func=_cmd_optbench)
+
+    trace = commands.add_parser(
+        "trace", help="record a unified trace and export it"
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--tasks", type=int, default=4, help="micro-engine workload size"
+    )
+    trace.add_argument(
+        "--max-pages", type=int, default=200, help="pages cap per task"
+    )
+    trace.add_argument(
+        "--submissions", type=int, default=10, help="serving stream length"
+    )
+    trace.add_argument(
+        "--healthy",
+        action="store_true",
+        help="skip the mixed fault preset in the micro phase",
+    )
+    trace.add_argument(
+        "--chrome",
+        default=None,
+        metavar="FILE",
+        help="write the Chrome trace-event JSON (open in Perfetto)",
+    )
+    trace.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the flat events + metrics JSON",
+    )
+    trace.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick deterministic run, byte-stable output",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

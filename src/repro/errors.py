@@ -162,6 +162,14 @@ class FaultError(ReproError):
 
 
 # --------------------------------------------------------------------------
+# observability
+
+
+class ObsError(ReproError):
+    """An invalid tracing or metrics operation (repro.obs)."""
+
+
+# --------------------------------------------------------------------------
 # serving
 
 

@@ -39,6 +39,11 @@ class CircuitBreaker:
             the machine counts as degraded.
         degraded_grace: seconds of sustained degradation that trip the
             breaker proactively.
+        tracer: a :class:`~repro.obs.Tracer`; every state transition is
+            additionally emitted as an instant on the ``breaker`` track.
+            ``None`` (or the falsy NullTracer) records nothing.  The
+            :attr:`timeline` attribute is kept either way, so existing
+            consumers are unaffected.
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class CircuitBreaker:
         cooldown: float = 30.0,
         degraded_fraction: float = 0.6,
         degraded_grace: float = 15.0,
+        tracer=None,
     ) -> None:
         if failure_threshold < 1:
             raise FaultError("failure_threshold must be >= 1")
@@ -61,6 +67,7 @@ class CircuitBreaker:
         self.cooldown = cooldown
         self.degraded_fraction = degraded_fraction
         self.degraded_grace = degraded_grace
+        self.tracer = tracer or None
         self.reset()
 
     def reset(self) -> None:
@@ -79,6 +86,13 @@ class CircuitBreaker:
         if state != self.state:
             self.state = state
             self.timeline.append((now, state))
+            if self.tracer is not None:
+                self.tracer.instant(
+                    f"breaker {state}",
+                    t=now,
+                    track="breaker",
+                    cat="fault",
+                )
 
     def _open(self, now: float) -> None:
         self._transition(now, OPEN)

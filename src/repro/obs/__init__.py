@@ -1,0 +1,63 @@
+"""Unified observability: span tracing, metrics, Chrome-trace export.
+
+``repro.obs`` is the one place run telemetry lives:
+
+* :class:`Tracer` records spans, instants and counter samples stamped
+  with **simulator virtual time** — traces are byte-stable per seed.
+  The falsy :class:`NullTracer` is the zero-overhead default; engines
+  normalize ``tracer or None`` so disabled tracing costs one branch at
+  cold emission sites and nothing on the per-page hot path.
+* :class:`MetricsRegistry` holds counters, gauges, streaming-percentile
+  histograms and timestamped series under dotted names, consolidating
+  what used to live on ``OptimizedQuery.stats``, the breaker timeline
+  and the service digests.  :func:`percentile` is the repository's one
+  percentile implementation.
+* :mod:`repro.obs.export` renders a tracer as Chrome trace-event JSON
+  (Perfetto-loadable, one thread lane per track), flat JSON or a text
+  summary table.
+* :mod:`repro.obs.harness` drives an optimizer + service + micro-engine
+  slice end to end with one tracer (``python -m repro trace``).
+"""
+
+from __future__ import annotations
+
+from .export import (
+    chrome_events,
+    chrome_json,
+    flat_events,
+    flat_json,
+    summary_table,
+)
+from .harness import TraceReport, run_trace, smoke_lines, validate_chrome
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    percentile,
+)
+from .tracer import NULL_TRACER, NullTracer, SpanHandle, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Series",
+    "SpanHandle",
+    "TraceEvent",
+    "TraceReport",
+    "Tracer",
+    "chrome_events",
+    "chrome_json",
+    "flat_events",
+    "flat_json",
+    "percentile",
+    "run_trace",
+    "smoke_lines",
+    "summary_table",
+    "validate_chrome",
+]

@@ -1,0 +1,243 @@
+"""The end-to-end trace harness behind ``python -m repro trace``.
+
+One :func:`run_trace` call drives a representative slice of the whole
+system — phase-1 optimization, a short serving-mode arrival stream and
+a (optionally faulted) micro-engine run — with a single live
+:class:`~repro.obs.Tracer` and :class:`~repro.obs.MetricsRegistry`
+threaded through every layer.  The result is one unified trace whose
+Chrome export opens in Perfetto with a lane per task, tenant, disk and
+subsystem.
+
+Every event is stamped with simulator virtual time, so the trace is a
+pure function of the seed: two runs export byte-identical Chrome JSON,
+which the determinism tests pin down.  The only non-deterministic
+quantity anywhere is the ``optimizer.phase1_seconds`` wall-clock
+histogram in the *metrics* registry — it never reaches the trace or
+the smoke lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .export import chrome_events, chrome_json, summary_table
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+# The engine/service/optimizer imports happen inside run_trace():
+# repro.service.metrics imports repro.obs for the shared percentile, so
+# a module-level import here would close an import cycle through the
+# package __init__.
+
+#: Chrome trace-event fields every exported record must carry.
+_REQUIRED_FIELDS = ("ph", "ts", "pid", "tid")
+
+
+@dataclass
+class TraceReport:
+    """Everything one :func:`run_trace` call produced.
+
+    Attributes:
+        seed: the seed the run was keyed on.
+        tracer: the populated tracer (all three phases).
+        metrics: the populated unified registry.
+        optimizer_stats: the optimized query's cache-counter snapshot.
+        service_offered: submissions offered to the admission gate.
+        service_completed: submissions that ran to completion.
+        service_rejected: submissions shed for good.
+        micro_pages: pages the micro engine processed.
+        micro_elapsed: simulated seconds of the micro run.
+        faulted: whether the micro phase ran under the mixed fault
+            preset.
+    """
+
+    seed: int
+    tracer: Tracer
+    metrics: MetricsRegistry
+    optimizer_stats: dict
+    service_offered: int
+    service_completed: int
+    service_rejected: int
+    micro_pages: int
+    micro_elapsed: float
+    faulted: bool
+
+    def chrome_json(self) -> str:
+        """The unified Chrome trace-event export (byte-stable per seed)."""
+        return chrome_json(self.tracer)
+
+    def summary(self) -> str:
+        """The per-category trace summary table."""
+        return summary_table(self.tracer)
+
+
+def run_trace(
+    seed: int = 0,
+    *,
+    n_tasks: int = 4,
+    max_pages: int = 200,
+    n_submissions: int = 10,
+    n_relations: int = 4,
+    faulted: bool = True,
+) -> TraceReport:
+    """Trace one optimizer + service + micro-engine slice of the system.
+
+    All three phases share one tracer and one metrics registry; every
+    timestamp is simulator virtual time, so the report's Chrome export
+    is byte-identical across runs of the same arguments.
+
+    Args:
+        seed: keys the join workload, the arrival stream and the
+            micro-engine page scatter.
+        n_tasks: micro-engine workload size.
+        max_pages: pages cap per micro-engine task.
+        n_submissions: serving-mode stream length.
+        n_relations: total relations of the optimized star join.
+        faulted: run the micro phase under the deterministic ``mixed``
+            fault preset so the trace shows degradation, stall and
+            crash instants.
+    """
+    from ..bench.optbench import bench_workload
+    from ..config import paper_machine
+    from ..core.schedulers import InterWithAdjPolicy
+    from ..faults.breaker import CircuitBreaker
+    from ..faults.retry import RetryPolicy
+    from ..faults.schedule import preset_schedule
+    from ..optimizer import OptimizerMode, TwoPhaseOptimizer
+    from ..service.arrivals import mixed_tenant_config, poisson_stream
+    from ..service.server import QueryService
+    from ..sim.micro import MicroSimulator
+    from ..workloads import WorkloadConfig, WorkloadKind
+    from ..workloads.mixes import generate_specs
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+
+    # Phase 1: optimize a seeded star join; the tracer gets one
+    # deterministic instant, the registry the counter deltas and the
+    # (wall-clock) phase-1 latency histogram.
+    schema = bench_workload(n_relations, topology="star", seed=seed)
+    optimizer = TwoPhaseOptimizer(
+        schema.catalog, tracer=tracer, metrics=metrics
+    )
+    optimized = optimizer.optimize(schema.query, mode=OptimizerMode.BUSHY_PAR)
+
+    # Phase 2: a short open-system stream through the admission gate,
+    # sized to provoke some queueing (small queues, tight in-flight
+    # budget, retry + breaker wired into the same tracer).
+    machine = paper_machine()
+    service = QueryService(
+        machine,
+        queue_capacity=2,
+        max_inflight_fragments=2,
+        # jitter=0: the jitter is keyed on process-global submission
+        # ids, which would break same-process trace repeatability.
+        retry=RetryPolicy(max_retries=2, base_delay=1.0, jitter=0.0, seed=seed),
+        breaker=CircuitBreaker(tracer=tracer),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    stream = poisson_stream(
+        rate=0.5,
+        seed=seed,
+        config=mixed_tenant_config(n_submissions),
+        machine=machine,
+    )
+    service_result = service.run(stream)
+    overall = service_result.metrics.overall
+
+    # Phase 3: a seeded RANDOM mix on the page-level engine, under the
+    # mixed fault preset when asked, so the trace carries task spans,
+    # adjustment rounds and fault instants.
+    specs = generate_specs(
+        WorkloadKind.RANDOM,
+        seed=seed,
+        machine=machine,
+        config=WorkloadConfig(n_tasks=n_tasks, max_pages=max_pages),
+    )
+    faults = preset_schedule("mixed", horizon=6.0) if faulted else None
+    micro = MicroSimulator(
+        machine, seed=seed, faults=faults, fault_seed=seed, tracer=tracer
+    )
+    micro_result = micro.run(specs, InterWithAdjPolicy(integral=True))
+    metrics.counter("sim.pages").inc(int(micro_result.io_served))
+    metrics.counter("sim.adjustments").inc(micro_result.adjustments)
+    metrics.gauge("sim.elapsed").set(micro_result.elapsed)
+    if micro_result.fault_log is not None:
+        metrics.counter("faults.crashes").inc(micro_result.fault_log.crashes)
+
+    return TraceReport(
+        seed=seed,
+        tracer=tracer,
+        metrics=metrics,
+        optimizer_stats=dict(optimized.stats or {}),
+        service_offered=overall.offered,
+        service_completed=overall.completed,
+        service_rejected=overall.rejected,
+        micro_pages=int(micro_result.io_served),
+        micro_elapsed=micro_result.elapsed,
+        faulted=faulted,
+    )
+
+
+def validate_chrome(text: str) -> str | None:
+    """Check a Chrome trace-event export; ``None`` if valid, else why.
+
+    Valid means: a JSON array of objects, each carrying the ``ph``,
+    ``ts``, ``pid`` and ``tid`` fields Perfetto requires.
+    """
+    try:
+        records = json.loads(text)
+    except json.JSONDecodeError as error:
+        return f"not JSON: {error}"
+    if not isinstance(records, list) or not records:
+        return "not a non-empty JSON array"
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            return f"record {i} is not an object"
+        for fields in _REQUIRED_FIELDS:
+            if fields not in record:
+                return f"record {i} lacks {fields!r}"
+    return None
+
+
+def smoke_lines(*, seed: int = 0) -> list[str]:
+    """Byte-stable output of one tiny traced run.
+
+    Reports only simulated quantities (event counts, counter deltas,
+    simulated elapsed), never wall-clock, so two runs print the same
+    bytes — the CLI smoke contract.  Appends ``smoke failed: ...``
+    lines on any violated invariant.
+    """
+    report = run_trace(seed)
+    stats = report.optimizer_stats
+    lines = [
+        f"smoke: trace {len(report.tracer)} events across "
+        f"{len(report.tracer.tracks())} tracks, seed {seed}",
+        f"smoke: optimizer candidates={stats.get('candidates', 0)} "
+        f"pruned={stats.get('pruned', 0)} costed={stats.get('costed', 0)}",
+        f"smoke: service {report.service_completed}/"
+        f"{report.service_offered} completed, "
+        f"{report.service_rejected} rejected",
+        f"smoke: micro {report.micro_pages} pages, "
+        f"simulated {report.micro_elapsed:.4f}s"
+        + (" (faulted)" if report.faulted else ""),
+    ]
+    if len(report.tracer) == 0:
+        lines.append("smoke failed: the trace is empty")
+    if report.service_completed == 0:
+        lines.append("smoke failed: no submissions completed")
+    problem = validate_chrome(report.chrome_json())
+    if problem is not None:
+        lines.append(f"smoke failed: chrome export invalid ({problem})")
+    spans = [e for e in report.tracer.events if e.kind == "span"]
+    if not spans:
+        lines.append("smoke failed: no spans recorded")
+    n_chrome = len(chrome_events(report.tracer))
+    if n_chrome <= len(report.tracer):
+        lines.append(
+            "smoke failed: chrome export lost events "
+            f"({n_chrome} records for {len(report.tracer)} events)"
+        )
+    return lines

@@ -1,0 +1,279 @@
+"""The span tracer: virtual-time event recording for whole runs.
+
+A :class:`Tracer` collects :class:`TraceEvent` records — spans with a
+start and duration, point-in-time instants, and counter samples — all
+stamped with **simulator virtual time**, never wall clock.  Because the
+engines are deterministic per seed, so is every timestamp, which makes
+a trace a byte-stable artifact: two runs of the same seed export the
+same Chrome-trace JSON down to the last float.
+
+The default everywhere is the :class:`NullTracer`, which is *falsy* and
+drops every call.  Instrumentation sites across the engines guard with
+a single truthiness/None check (``if tracer is not None:``), so a
+disabled tracer costs one branch at event-emission sites that are
+already off the inner per-page loop — the frozen trace/plan corpora and
+the perf floors are unaffected.
+
+Tracks name the timeline a record belongs to (``task:io0``,
+``tenant:olap``, ``disk:2``, ``optimizer`` …); the Chrome exporter maps
+each distinct track to its own thread lane, so Perfetto shows one lane
+per task/tenant/disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ObsError
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        kind: ``"span"`` (has a duration), ``"instant"`` (a point in
+            time) or ``"counter"`` (a sampled value).
+        name: event label (shown on the slice in Perfetto).
+        cat: category tag (``task``, ``adjust``, ``admission``,
+            ``fault``, ``optimizer`` …) used for filtering and the
+            summary table.
+        track: timeline this event belongs to; one Chrome thread lane
+            per distinct track.
+        start: virtual-time start, seconds.
+        dur: duration in virtual seconds (spans only; 0 otherwise).
+        value: sampled value (counters only; 0 otherwise).
+        args: optional extra payload exported into the Chrome ``args``.
+    """
+
+    kind: str
+    name: str
+    cat: str
+    track: str
+    start: float
+    dur: float = 0.0
+    value: float = 0.0
+    args: dict | None = None
+
+
+class SpanHandle:
+    """An open span returned by :meth:`Tracer.begin`.
+
+    Call :meth:`end` with the closing virtual time to record the
+    completed span.  Ending twice raises; never ending simply records
+    nothing (the span is dropped, not flushed half-open).
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "track", "start", "args", "_closed")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        track: str,
+        start: float,
+        args: dict | None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.start = start
+        self.args = args
+        self._closed = False
+
+    def end(self, t: float, *, args: dict | None = None) -> None:
+        """Close the span at virtual time ``t`` and record it."""
+        if self._closed:
+            raise ObsError(f"span {self.name!r} ended twice")
+        self._closed = True
+        merged = self.args
+        if args:
+            merged = {**(self.args or {}), **args}
+        self._tracer.span(
+            self.name,
+            t=self.start,
+            dur=t - self.start,
+            track=self.track,
+            cat=self.cat,
+            args=merged,
+        )
+
+
+class Tracer:
+    """Collects trace events for one (or several back-to-back) runs.
+
+    The tracer never mutates engine state and never reads wall clock:
+    callers stamp every record with the simulated time they already
+    hold, so enabling tracing cannot perturb a schedule — the
+    instrumentation tests replay the frozen trace corpus with a live
+    tracer attached and assert byte-identical results.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def __bool__(self) -> bool:
+        """A live tracer is truthy (the NullTracer is not)."""
+        return True
+
+    def __len__(self) -> int:
+        """Number of recorded events."""
+        return len(self.events)
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        t: float,
+        dur: float,
+        track: str,
+        cat: str = "sim",
+        args: dict | None = None,
+    ) -> None:
+        """Record a completed span ``[t, t + dur]`` on ``track``."""
+        if dur < 0:
+            raise ObsError(f"span {name!r} has negative duration {dur!r}")
+        self.events.append(
+            TraceEvent(
+                kind="span",
+                name=name,
+                cat=cat,
+                track=track,
+                start=t,
+                dur=dur,
+                args=args,
+            )
+        )
+
+    def begin(
+        self,
+        name: str,
+        *,
+        t: float,
+        track: str,
+        cat: str = "sim",
+        args: dict | None = None,
+    ) -> SpanHandle:
+        """Open a span at ``t``; record it when the handle is ended."""
+        return SpanHandle(self, name, cat, track, t, args)
+
+    def instant(
+        self,
+        name: str,
+        *,
+        t: float,
+        track: str,
+        cat: str = "sim",
+        args: dict | None = None,
+    ) -> None:
+        """Record a point-in-time event at ``t`` on ``track``."""
+        self.events.append(
+            TraceEvent(
+                kind="instant",
+                name=name,
+                cat=cat,
+                track=track,
+                start=t,
+                args=args,
+            )
+        )
+
+    def counter(
+        self,
+        name: str,
+        *,
+        t: float,
+        value: float,
+        track: str = "counters",
+        cat: str = "counter",
+    ) -> None:
+        """Record one sample of a time-varying quantity."""
+        self.events.append(
+            TraceEvent(
+                kind="counter",
+                name=name,
+                cat=cat,
+                track=track,
+                start=t,
+                value=value,
+            )
+        )
+
+    # -- views -------------------------------------------------------------------
+
+    def by_category(self) -> dict[str, list[TraceEvent]]:
+        """Events grouped by category, insertion order preserved."""
+        grouped: dict[str, list[TraceEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.cat, []).append(event)
+        return grouped
+
+    def tracks(self) -> list[str]:
+        """Distinct track names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop every recorded event."""
+        self.events.clear()
+
+
+class NullTracer:
+    """The zero-overhead disabled tracer: falsy, drops every call.
+
+    Engines treat ``tracer or None`` as their stored handle, so passing
+    a NullTracer is exactly equivalent to passing ``None`` — the frozen
+    corpora replay unchanged either way, which the obs test suite
+    asserts.
+    """
+
+    enabled = False
+    #: Always-empty event view, so read-only consumers need no check.
+    events: tuple = ()
+
+    def __bool__(self) -> bool:
+        """The NullTracer is falsy: ``tracer or None`` discards it."""
+        return False
+
+    def __len__(self) -> int:
+        """Always zero events."""
+        return 0
+
+    def span(self, name: str, **kwargs) -> None:
+        """Drop the span."""
+
+    def begin(self, name: str, **kwargs) -> "NullTracer":
+        """Return self; the matching :meth:`end` is also a no-op."""
+        return self
+
+    def end(self, t: float, **kwargs) -> None:
+        """Drop the span end."""
+
+    def instant(self, name: str, **kwargs) -> None:
+        """Drop the instant."""
+
+    def counter(self, name: str, **kwargs) -> None:
+        """Drop the counter sample."""
+
+    def by_category(self) -> dict:
+        """Always empty."""
+        return {}
+
+    def tracks(self) -> list:
+        """Always empty."""
+        return []
+
+    def clear(self) -> None:
+        """Nothing to drop."""
+
+
+#: Shared default instance; safe because the NullTracer has no state.
+NULL_TRACER = NullTracer()

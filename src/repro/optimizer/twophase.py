@@ -27,6 +27,7 @@ golden-plan corpus test asserts exactly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 
@@ -82,6 +83,16 @@ class TwoPhaseOptimizer:
             queries — correct as long as the catalog's statistics do
             not change underneath it; call ``caches.clear()`` after an
             ANALYZE-style refresh.
+        tracer: a :class:`~repro.obs.Tracer`; each ``optimize`` call
+            emits one deterministic instant on the ``optimizer`` track
+            carrying this query's candidate/pruned/costed deltas.
+            ``None`` (or the falsy NullTracer) records nothing.
+        metrics: a :class:`~repro.obs.MetricsRegistry`; each
+            ``optimize`` call folds this query's cache-counter deltas
+            into ``optimizer.*`` counters and its phase-1 wall time into
+            the ``optimizer.phase1_seconds`` histogram.  The hot
+            enumeration loop keeps incrementing plain ints; the
+            registry only sees per-call deltas.  ``None`` skips both.
     """
 
     def __init__(
@@ -92,6 +103,8 @@ class TwoPhaseOptimizer:
         cost_model: CostModel | None = None,
         methods: tuple[str, ...] = JOIN_METHODS,
         fast_path: bool = True,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.catalog = catalog
         self.machine = machine or paper_machine()
@@ -101,6 +114,8 @@ class TwoPhaseOptimizer:
         self.caches: OptimizerCaches | None = (
             OptimizerCaches() if fast_path else None
         )
+        self.tracer = tracer or None
+        self.metrics = metrics
 
     @property
     def cache_stats(self) -> CacheStats | None:
@@ -176,9 +191,40 @@ class TwoPhaseOptimizer:
         policy: SchedulingPolicy | None = None,
     ) -> OptimizedQuery:
         """Run both phases and return the full result."""
-        plan = self.choose_plan(query, mode)
-        parallel = self.parallelize(plan, policy=policy)
         stats = self.cache_stats
+        observing = self.tracer is not None or self.metrics is not None
+        before = stats.as_dict() if observing and stats is not None else None
+        t0 = time.perf_counter() if self.metrics is not None else 0.0
+        plan = self.choose_plan(query, mode)
+        if self.metrics is not None:
+            self.metrics.histogram("optimizer.phase1_seconds").observe(
+                time.perf_counter() - t0
+            )
+        parallel = self.parallelize(plan, policy=policy)
+        if observing and stats is not None:
+            after = stats.as_dict()
+            assert before is not None
+            delta = {
+                key: max(0, after[key] - before[key]) for key in after
+            }
+            if self.metrics is not None:
+                for key, value in delta.items():
+                    self.metrics.counter(f"optimizer.{key}").inc(value)
+            if self.tracer is not None:
+                # Deterministic: virtual t=0, counter deltas only — no
+                # wall time reaches the trace.
+                self.tracer.instant(
+                    f"optimize {len(query.relations)} relations",
+                    t=0.0,
+                    track="optimizer",
+                    cat="optimizer",
+                    args={
+                        "mode": mode.value,
+                        "candidates": delta["candidates"],
+                        "pruned": delta["pruned"],
+                        "costed": delta["costed"],
+                    },
+                )
         return OptimizedQuery(
             query=query,
             mode=mode,

@@ -7,6 +7,12 @@ the closed-batch makespan the Figure-7 experiments report.  Everything
 here is plain deterministic arithmetic over the simulator trace, so a
 metrics table is a pure function of ``(seed, λ, mix)`` and can be
 diffed byte-for-byte across runs.
+
+The percentile implementation now lives in
+:mod:`repro.obs.metrics`; :func:`percentile` is re-exported here for
+backward compatibility (it raises
+:class:`~repro.errors.ObsError`, a :class:`~repro.errors.ReproError`
+subclass, on an out-of-range ``p``).
 """
 
 from __future__ import annotations
@@ -15,27 +21,16 @@ from dataclasses import dataclass, field
 
 from ..bench.report import format_table
 from ..errors import ServiceError
+from ..obs.metrics import percentile
 from ..sim.fluid import ScheduleResult
 
-
-def percentile(values: list[float], p: float) -> float:
-    """The ``p``-th percentile by linear interpolation (deterministic).
-
-    Matches numpy's default ``linear`` method but avoids float-platform
-    drift by staying in pure python.  ``p`` is in ``[0, 100]``.
-    """
-    if not values:
-        return 0.0
-    if not 0.0 <= p <= 100.0:
-        raise ServiceError("percentile must be in [0, 100]")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (p / 100.0) * (len(ordered) - 1)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    frac = rank - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+__all__ = [
+    "percentile",
+    "TenantMetrics",
+    "ServiceMetrics",
+    "utilization_timeline",
+    "format_timeline",
+]
 
 
 @dataclass

@@ -181,6 +181,10 @@ class AdmissionGate(SchedulingPolicy):
             after consecutive sheds or under sustained measured
             bandwidth degradation, rejecting offers outright until a
             cooldown probe succeeds; ``None`` disables it.
+        tracer: a :class:`~repro.obs.Tracer` recording admission
+            decisions (queue-wait spans, backoff/shed instants) at
+            virtual time; ``None`` (or the falsy NullTracer) records
+            nothing.
     """
 
     name = "ADMISSION-GATE"
@@ -195,6 +199,7 @@ class AdmissionGate(SchedulingPolicy):
         max_inflight_fragments: int = 6,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        tracer=None,
     ) -> None:
         if max_inflight_fragments < 1:
             raise AdmissionError(-1, "max_inflight_fragments must be >= 1")
@@ -204,6 +209,7 @@ class AdmissionGate(SchedulingPolicy):
         self.max_inflight_fragments = max_inflight_fragments
         self.retry = retry
         self.breaker = breaker
+        self.tracer = tracer or None
         self._stream = sorted(
             submissions, key=lambda s: (s.arrival_time, s.submission_id)
         )
@@ -249,6 +255,13 @@ class AdmissionGate(SchedulingPolicy):
         """One offer of a submission to its tenant queue, breaker-gated."""
         now = state.now
         if self.breaker is not None and not self.breaker.allow(now):
+            if self.tracer is not None:
+                self.tracer.instant(
+                    f"breaker:reject {submission.name}",
+                    t=now,
+                    track=f"tenant:{submission.tenant}",
+                    cat="admission",
+                )
             return self._handle_shed(submission, attempt, state)
         try:
             self._queue.offer(submission, now)
@@ -264,6 +277,7 @@ class AdmissionGate(SchedulingPolicy):
         self, submission: ServiceSubmission, attempt: int, state: EngineState
     ) -> list[Action]:
         """Backoff-and-retry a shed submission, or reject it for good."""
+        tracer = self.tracer
         if self.retry is not None and attempt < self.retry.max_retries:
             due = state.now + self.retry.backoff(
                 submission.submission_id, attempt
@@ -273,8 +287,24 @@ class AdmissionGate(SchedulingPolicy):
                 (due, submission.submission_id, attempt + 1, submission),
             )
             self.retry_counts[submission.submission_id] = attempt + 1
+            if tracer is not None:
+                tracer.instant(
+                    f"backoff {submission.name}",
+                    t=state.now,
+                    track=f"tenant:{submission.tenant}",
+                    cat="admission",
+                    args={"attempt": attempt + 1, "due": due},
+                )
             return []
         self.rejected_at[submission.submission_id] = state.now
+        if tracer is not None:
+            tracer.instant(
+                f"shed {submission.name}",
+                t=state.now,
+                track=f"tenant:{submission.tenant}",
+                cat="admission",
+                args={"attempts": attempt + 1},
+            )
         return [Shed(task) for task in submission.tasks]
 
     def _drain_retries(self, state: EngineState) -> list[Action]:
@@ -324,6 +354,15 @@ class AdmissionGate(SchedulingPolicy):
                 return
             submission = self._queue.take(choice.submission_id)
             self.admitted_at[submission.submission_id] = state.now
+            if self.tracer is not None:
+                self.tracer.span(
+                    f"queue-wait {submission.name}",
+                    t=submission.arrival_time,
+                    dur=state.now - submission.arrival_time,
+                    track=f"tenant:{submission.tenant}",
+                    cat="admission",
+                    args={"fragments": submission.n_fragments},
+                )
             for task in submission.tasks:
                 self._allowed.add(task.task_id)
                 self._inflight[task.task_id] = task
@@ -361,6 +400,12 @@ class QueryService:
         breaker: admission circuit breaker (``None`` = off).
         degradations: scheduled disk-bandwidth degradation windows,
             applied by the fluid engine and observed by the breaker.
+        tracer: a :class:`~repro.obs.Tracer` threaded into the gate
+            and the fluid engine; ``None`` (or the falsy NullTracer)
+            records nothing.
+        metrics: a :class:`~repro.obs.MetricsRegistry` the digest step
+            populates with ``service.*`` counters, histograms and the
+            breaker-state series; ``None`` skips it.
     """
 
     def __init__(
@@ -375,6 +420,8 @@ class QueryService:
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         degradations: "Sequence[DiskDegradation] | None" = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.machine = machine or paper_machine()
         self.admission = admission or BalanceAwareAdmission()
@@ -385,6 +432,8 @@ class QueryService:
         self.retry = retry
         self.breaker = breaker
         self.degradations = tuple(degradations or ())
+        self.tracer = tracer or None
+        self.metrics = metrics
 
     def run(
         self, submissions: Sequence[ServiceSubmission]
@@ -400,10 +449,13 @@ class QueryService:
             max_inflight_fragments=self.max_inflight_fragments,
             retry=self.retry,
             breaker=self.breaker,
+            tracer=self.tracer,
         )
         pooled = [task for s in submissions for task in s.tasks]
         simulator = FluidSimulator(
-            self.machine, degradations=self.degradations or None
+            self.machine,
+            degradations=self.degradations or None,
+            tracer=self.tracer,
         )
         schedule = simulator.run(pooled, gate)
         outcomes = self._collect(submissions, gate, schedule)
@@ -484,6 +536,8 @@ class QueryService:
             if self.timeline_bucket is not None
             else []
         )
+        if self.metrics is not None:
+            self._publish(outcomes, gate, self.metrics)
         return ServiceMetrics(
             admission_name=self.admission.name,
             elapsed=schedule.elapsed,
@@ -495,3 +549,40 @@ class QueryService:
                 list(gate.breaker.timeline) if gate.breaker is not None else []
             ),
         )
+
+    @staticmethod
+    def _publish(
+        outcomes: list[SubmissionOutcome],
+        gate: AdmissionGate,
+        registry,
+    ) -> None:
+        """Fold the run's outcomes into a unified metrics registry.
+
+        Populates ``service.*`` counters (offered/admitted/rejected/
+        completed/retries), the response-time and queue-wait histograms
+        and the breaker-state series on the given
+        :class:`~repro.obs.MetricsRegistry`.
+        """
+        offered = registry.counter("service.offered")
+        admitted = registry.counter("service.admitted")
+        rejected = registry.counter("service.rejected")
+        completed = registry.counter("service.completed")
+        retries = registry.counter("service.retries")
+        response = registry.histogram("service.response_time")
+        queue_wait = registry.histogram("service.queue_wait")
+        for outcome in outcomes:
+            offered.inc()
+            retries.inc(
+                gate.retry_counts.get(outcome.submission.submission_id, 0)
+            )
+            if outcome.status == "rejected":
+                rejected.inc()
+            else:
+                admitted.inc()
+                completed.inc()
+                response.observe(outcome.response_time)
+                queue_wait.observe(outcome.queueing_delay)
+        if gate.breaker is not None:
+            series = registry.series("service.breaker_state")
+            for t, name in gate.breaker.timeline:
+                series.append(t, name)

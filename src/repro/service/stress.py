@@ -23,7 +23,7 @@ from ..config import MachineConfig, paper_machine
 from ..errors import ConfigError
 from .admission import AdmissionPolicy, BalanceAwareAdmission
 from .arrivals import ArrivalConfig, poisson_stream
-from .metrics import percentile
+from ..obs.metrics import percentile
 from .queue import ServiceSubmission
 from .server import QueryService, ServiceResult
 

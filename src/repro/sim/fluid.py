@@ -157,6 +157,12 @@ class FluidSimulator:
             over the array; window edges become simulation events and
             the measured machine is exposed to policies and to the
             serving gate as ``state.effective_machine``.
+        tracer: a :class:`~repro.obs.Tracer` recording task spans and
+            start/adjust/shed instants at virtual time; ``None`` (or
+            the falsy NullTracer) records nothing.  Emission sites are
+            per-event, never inside the rate solve, and guard with one
+            None check — parcost's costing loop is unaffected when
+            tracing is off.
     """
 
     def __init__(
@@ -166,6 +172,7 @@ class FluidSimulator:
         adjustment_overhead: float | None = None,
         use_effective_bandwidth: bool = True,
         degradations: "Sequence[DiskDegradation] | None" = None,
+        tracer=None,
     ) -> None:
         self.machine = machine
         if adjustment_overhead is None:
@@ -189,6 +196,7 @@ class FluidSimulator:
         # Hoisted per-event constants (the machine is immutable).
         self._processors = float(machine.processors)
         self._nominal_bandwidth = machine.io_bandwidth
+        self.tracer = tracer or None
 
     def _multiplier_at(self, t: float) -> float:
         """Array-wide bandwidth factor at time ``t`` (1.0 = healthy)."""
@@ -231,6 +239,8 @@ class FluidSimulator:
         io_served = 0.0
         peak_memory = 0.0
         healthy = not self.degradations
+        tracer = self.tracer
+        n_recorded = 0
         for __ in range(_MAX_EVENTS):
             if not healthy:
                 state.effective_machine = self._effective_machine(state.clock)
@@ -262,6 +272,19 @@ class FluidSimulator:
                 io_served += run.io_rate * rate * dt
             state.clock += dt
             state.settle()
+            if tracer is not None and len(state.records) > n_recorded:
+                for record in state.records[n_recorded:]:
+                    tracer.span(
+                        record.task.name,
+                        t=record.started_at,
+                        dur=record.finished_at - record.started_at,
+                        track=f"task:{record.task.name}",
+                        cat="task",
+                        args={
+                            "adjustments": len(record.parallelism_history) - 1
+                        },
+                    )
+                n_recorded = len(state.records)
         else:
             raise SimulationError("simulation exceeded the event budget")
         return ScheduleResult(
@@ -280,9 +303,18 @@ class FluidSimulator:
 
     def _apply(self, state: "_SimState", actions: list[Action]) -> int:
         adjustments = 0
+        tracer = self.tracer
         for action in actions:
             if isinstance(action, Start):
                 state.start(action.task, action.parallelism)
+                if tracer is not None:
+                    tracer.instant(
+                        f"start x={action.parallelism:g}",
+                        t=state.clock,
+                        track=f"task:{action.task.name}",
+                        cat="task",
+                        args={"parallelism": action.parallelism},
+                    )
             elif isinstance(action, Adjust):
                 run = state.running_by_id(action.task.task_id)
                 if abs(run.parallelism - action.parallelism) > _EPS:
@@ -290,8 +322,23 @@ class FluidSimulator:
                     run.remaining += self.adjustment_overhead
                     run.history.append((state.clock, action.parallelism))
                     adjustments += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            f"adjust x={action.parallelism:g}",
+                            t=state.clock,
+                            track=f"task:{action.task.name}",
+                            cat="adjust",
+                            args={"parallelism": action.parallelism},
+                        )
             elif isinstance(action, Shed):
                 state.shed(action.task)
+                if tracer is not None:
+                    tracer.instant(
+                        "shed",
+                        t=state.clock,
+                        track=f"task:{action.task.name}",
+                        cat="admission",
+                    )
             else:  # pragma: no cover - exhaustiveness guard
                 raise SimulationError(f"unknown action: {action!r}")
         return adjustments

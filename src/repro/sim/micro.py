@@ -272,6 +272,9 @@ class _TaskRun:
     page_mode: bool = True  # spec.partitioning == "page"
     cpu_per_page: float = 0.0
     n_pages: int = 0
+    #: When the in-flight adjustment round's first leg was sent; the
+    #: tracer stamps the round's span from here (cold path).
+    adjust_started_at: float = 0.0
     #: Per-slave intervals harvested by a Figure-6 collect step, kept so
     #: an aborted round can hand them back (or restart crashed strides).
     harvest: dict[int, list[tuple[int, int]]] | None = None
@@ -316,6 +319,11 @@ class MicroSimulator:
             adjustment round before aborting it (recorded as a
             :class:`~repro.errors.ProtocolTimeoutError` event in the
             fault log, never raised — the run continues).
+        tracer: a :class:`~repro.obs.Tracer` recording task spans,
+            adjustment rounds and fault instants at virtual time;
+            ``None`` (or the falsy NullTracer) records nothing.  The
+            tracer only appends to its own event list, so enabling it
+            cannot perturb the schedule.
     """
 
     def __init__(
@@ -327,6 +335,7 @@ class MicroSimulator:
         faults: FaultSchedule | None = None,
         fault_seed: int = 0,
         adjust_timeout: float = 0.5,
+        tracer=None,
     ) -> None:
         flattened = replace(
             machine,
@@ -344,6 +353,7 @@ class MicroSimulator:
         self.faults = faults
         self.fault_seed = fault_seed
         self.adjust_timeout = adjust_timeout
+        self.tracer = tracer or None
 
     def run(self, specs: list[ScanSpec], policy: SchedulingPolicy) -> ScheduleResult:
         """Simulate the scan specs under ``policy`` until all complete."""
@@ -361,6 +371,7 @@ class MicroSimulator:
             consult_interval=self.consult_interval,
             injector=injector,
             adjust_timeout=self.adjust_timeout,
+            tracer=self.tracer,
         )
         return engine.run()
 
@@ -376,11 +387,16 @@ class _MicroEngine:
         consult_interval: float | None = None,
         injector: FaultInjector | None = None,
         adjust_timeout: float = 0.5,
+        tracer=None,
     ) -> None:
         import random
 
         self.machine = machine
         self.policy = policy
+        #: Span tracer (None = disabled).  Emission sites are all off
+        #: the inner per-page loop and guard with one None check, so a
+        #: disabled tracer leaves the hot path untouched.
+        self.tracer = tracer or None
         self.clock = 0.0
         #: Heap of (time, seq, tag, payload) — see the _EV_* tags.
         self._events: list[tuple[float, int, int, object]] = []
@@ -848,15 +864,43 @@ class _MicroEngine:
         injector = self.injector
         assert injector is not None
         if isinstance(fault, DiskDegradation):
-            self._schedule(
-                fault.start, lambda: injector.begin_degradation(fault, self.clock)
-            )
-            self._schedule(
-                fault.end, lambda: injector.end_degradation(fault, self.clock)
-            )
+            def degrade_begin() -> None:
+                injector.begin_degradation(fault, self.clock)
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.instant(
+                        f"degrade x{fault.factor:g}",
+                        t=self.clock,
+                        track=f"disk:{fault.disk}",
+                        cat="fault",
+                        args={"factor": fault.factor},
+                    )
+
+            def degrade_end() -> None:
+                injector.end_degradation(fault, self.clock)
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.instant(
+                        "degrade:end",
+                        t=self.clock,
+                        track=f"disk:{fault.disk}",
+                        cat="fault",
+                    )
+
+            self._schedule(fault.start, degrade_begin)
+            self._schedule(fault.end, degrade_end)
         elif isinstance(fault, DiskStall):
             def stall() -> None:
                 injector.begin_stall(fault, self.clock)
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.instant(
+                        f"stall {fault.duration:g}s",
+                        t=self.clock,
+                        track=f"disk:{fault.disk}",
+                        cat="fault",
+                        args={"duration": fault.duration},
+                    )
 
             self._schedule(fault.at, stall)
         elif isinstance(fault, SlaveCrash):
@@ -956,6 +1000,15 @@ class _MicroEngine:
                 else ""
             ),
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"crash slave {slave.slave_id}",
+                t=self.clock,
+                track=f"task:{run.task.name}",
+                cat="fault",
+                args={"slave": slave.slave_id},
+            )
         replacement = _Slave(slave_id=run.next_slave_id)
         run.next_slave_id += 1
         inflight = slave.inflight_page if slave.busy else None
@@ -1042,6 +1095,18 @@ class _MicroEngine:
             self.peak_memory,
             sum(r.task.memory_bytes for r in self.running.values()),
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"start x={n}",
+                t=self.clock,
+                track=f"task:{task.name}",
+                cat="task",
+                args={"pages": spec.n_pages, "parallelism": n},
+            )
+            tracer.counter(
+                "running_tasks", t=self.clock, value=float(len(self.running))
+            )
         if spec.partitioning == "page":
             for i in range(n):
                 slave = _Slave(slave_id=i)
@@ -1119,6 +1184,24 @@ class _MicroEngine:
                     parallelism_history=tuple(run.history),
                 )
             )
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.span(
+                    run.task.name,
+                    t=run.started_at,
+                    dur=self.clock - run.started_at,
+                    track=f"task:{run.task.name}",
+                    cat="task",
+                    args={
+                        "pages": run.pages_done,
+                        "adjustments": len(run.history) - 1,
+                    },
+                )
+                tracer.counter(
+                    "running_tasks",
+                    t=self.clock,
+                    value=float(len(self.running)),
+                )
             self._consult_policy()
 
     # -- disks --------------------------------------------------------------------------------
@@ -1255,6 +1338,7 @@ class _MicroEngine:
         if n_new == run.parallelism or run.adjusting:
             return
         run.adjusting = True
+        run.adjust_started_at = self.clock
         self.adjustments += 1
         epoch = run.adjust_epoch
         delta = self.machine.signal_latency
@@ -1303,6 +1387,15 @@ class _MicroEngine:
         log.adjust_aborts += 1
         error = ProtocolTimeoutError(run.task.name, self.adjust_timeout)
         log.record(self.clock, "timeout", str(error))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "adjust:abort",
+                t=self.clock,
+                track=f"task:{run.task.name}",
+                cat="adjust",
+                args={"timeout": self.adjust_timeout},
+            )
         harvest, run.harvest = run.harvest, None
         if harvest:
             for slave_id, intervals in sorted(harvest.items()):
@@ -1385,6 +1478,16 @@ class _MicroEngine:
         run.adjust_epoch += 1
         run.adjusting = False
         run.history.append((self.clock, float(n_new)))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span(
+                f"adjust(page) x={n_new}",
+                t=run.adjust_started_at,
+                dur=self.clock - run.adjust_started_at,
+                track=f"task:{run.task.name}",
+                cat="adjust",
+                args={"n_new": n_new, "maxpage": maxpage},
+            )
         self._maybe_complete(run)
 
     def _collect_intervals(self, run: _TaskRun, n_new: int, epoch: int) -> None:
@@ -1468,6 +1571,16 @@ class _MicroEngine:
         run.adjust_epoch += 1
         run.adjusting = False
         run.history.append((self.clock, float(n_new)))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span(
+                f"adjust(range) x={n_new}",
+                t=run.adjust_started_at,
+                dur=self.clock - run.adjust_started_at,
+                track=f"task:{run.task.name}",
+                cat="adjust",
+                args={"n_new": n_new, "keys": total},
+            )
         self._maybe_complete(run)
 
 

@@ -1,0 +1,90 @@
+"""Tests for the end-to-end trace harness (``python -m repro trace``)."""
+
+import json
+
+import pytest
+
+from repro.obs import run_trace, smoke_lines, validate_chrome
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One shared traced run (the harness drives all three phases)."""
+    return run_trace(0)
+
+
+class TestRunTrace:
+    def test_all_three_phases_reach_the_trace(self, report):
+        cats = set(report.tracer.by_category())
+        assert "optimizer" in cats  # phase 1
+        assert "admission" in cats  # phase 2
+        assert "task" in cats  # phase 3
+        assert "fault" in cats  # the mixed preset
+
+    def test_unified_registry_spans_subsystems(self, report):
+        digest = report.metrics.as_dict()
+        counters = digest["counters"]
+        assert counters["service.completed"] == report.service_completed
+        assert counters["sim.pages"] == report.micro_pages
+        assert counters["optimizer.candidates"] > 0
+        assert digest["histograms"]["service.response_time"]["count"] > 0
+        assert "service.breaker_state" in digest["series"]
+
+    def test_report_counts_are_consistent(self, report):
+        assert report.service_offered > 0
+        assert 0 < report.service_completed <= report.service_offered
+        assert report.micro_pages > 0
+        assert report.micro_elapsed > 0
+        assert report.optimizer_stats["candidates"] > 0
+
+    def test_chrome_export_is_byte_identical_across_runs(self, report):
+        # The acceptance bar: same seed, same bytes — in-process repeat.
+        again = run_trace(0)
+        assert again.chrome_json() == report.chrome_json()
+
+    def test_different_seeds_differ(self, report):
+        other = run_trace(3)
+        assert other.chrome_json() != report.chrome_json()
+
+    def test_chrome_export_validates(self, report):
+        assert validate_chrome(report.chrome_json()) is None
+
+    def test_healthy_run_has_no_fault_events(self):
+        healthy = run_trace(0, faulted=False)
+        assert "fault" not in healthy.tracer.by_category()
+        assert not healthy.faulted
+
+
+class TestValidateChrome:
+    def test_rejects_non_json(self):
+        assert "not JSON" in validate_chrome("[oops")
+
+    def test_rejects_non_array(self):
+        assert validate_chrome(json.dumps({"a": 1})) is not None
+        assert validate_chrome("[]") is not None
+
+    def test_rejects_non_object_record(self):
+        assert "not an object" in validate_chrome("[1]")
+
+    def test_rejects_missing_required_field(self):
+        record = {"ph": "X", "ts": 0, "pid": 1}  # no tid
+        problem = validate_chrome(json.dumps([record]))
+        assert "tid" in problem
+
+    def test_accepts_minimal_valid_record(self):
+        record = {"ph": "i", "ts": 0, "pid": 1, "tid": 1}
+        assert validate_chrome(json.dumps([record])) is None
+
+
+class TestSmokeLines:
+    def test_smoke_is_byte_stable(self):
+        assert smoke_lines(seed=0) == smoke_lines(seed=0)
+
+    def test_smoke_reports_all_phases_and_no_failures(self):
+        lines = smoke_lines(seed=0)
+        assert len(lines) == 4
+        assert lines[0].startswith("smoke: trace ")
+        assert "optimizer candidates=" in lines[1]
+        assert "completed" in lines[2]
+        assert "(faulted)" in lines[3]
+        assert not any(line.startswith("smoke failed") for line in lines)

@@ -1,0 +1,108 @@
+"""Tests for the span tracer and the zero-overhead NullTracer."""
+
+import pytest
+
+from repro.errors import ObsError, ReproError
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_span_records_all_fields(self):
+        tracer = Tracer()
+        tracer.span(
+            "scan", t=1.5, dur=2.0, track="task:io0", cat="task",
+            args={"pages": 10},
+        )
+        (event,) = tracer.events
+        assert event.kind == "span"
+        assert event.name == "scan"
+        assert event.cat == "task"
+        assert event.track == "task:io0"
+        assert event.start == 1.5
+        assert event.dur == 2.0
+        assert event.args == {"pages": 10}
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ObsError):
+            Tracer().span("bad", t=1.0, dur=-0.1, track="x")
+
+    def test_obs_error_is_a_repro_error(self):
+        # Callers catching the repo-wide base see obs failures too.
+        assert issubclass(ObsError, ReproError)
+
+    def test_instant_and_counter_kinds(self):
+        tracer = Tracer()
+        tracer.instant("crash", t=3.0, track="task:io0", cat="fault")
+        tracer.counter("running", t=3.5, value=4.0)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["instant", "counter"]
+        assert tracer.events[1].value == 4.0
+        assert tracer.events[1].track == "counters"
+
+    def test_begin_end_records_span(self):
+        tracer = Tracer()
+        handle = tracer.begin("work", t=2.0, track="t", args={"a": 1})
+        handle.end(5.0, args={"b": 2})
+        (event,) = tracer.events
+        assert event.start == 2.0
+        assert event.dur == 3.0
+        assert event.args == {"a": 1, "b": 2}
+
+    def test_ending_a_span_twice_raises(self):
+        handle = Tracer().begin("once", t=0.0, track="t")
+        handle.end(1.0)
+        with pytest.raises(ObsError):
+            handle.end(2.0)
+
+    def test_unended_begin_records_nothing(self):
+        tracer = Tracer()
+        tracer.begin("dropped", t=0.0, track="t")
+        assert len(tracer) == 0
+
+    def test_truthiness_and_len(self):
+        tracer = Tracer()
+        assert tracer
+        assert len(tracer) == 0
+        tracer.instant("x", t=0.0, track="t")
+        assert len(tracer) == 1
+
+    def test_by_category_and_tracks(self):
+        tracer = Tracer()
+        tracer.instant("a", t=0.0, track="t1", cat="task")
+        tracer.instant("b", t=1.0, track="t2", cat="fault")
+        tracer.instant("c", t=2.0, track="t1", cat="task")
+        grouped = tracer.by_category()
+        assert sorted(grouped) == ["fault", "task"]
+        assert len(grouped["task"]) == 2
+        assert tracer.tracks() == ["t1", "t2"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.instant("x", t=0.0, track="t")
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestNullTracer:
+    def test_is_falsy_so_or_none_discards_it(self):
+        # This is the zero-overhead contract: engines store
+        # ``tracer or None`` and a NullTracer normalizes to None.
+        assert not NULL_TRACER
+        assert (NULL_TRACER or None) is None
+
+    def test_all_recording_calls_are_no_ops(self):
+        null = NullTracer()
+        null.span("s", t=0.0, dur=1.0, track="t")
+        null.instant("i", t=0.0, track="t")
+        null.counter("c", t=0.0, value=1.0)
+        handle = null.begin("b", t=0.0, track="t")
+        handle.end(1.0)
+        assert len(null) == 0
+        assert null.events == ()
+        assert null.by_category() == {}
+        assert null.tracks() == []
+        null.clear()
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled
+        assert not NullTracer().enabled

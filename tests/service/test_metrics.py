@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import paper_machine
-from repro.errors import ServiceError
+from repro.errors import ObsError, ServiceError
 from repro.service import (
     QueryService,
     format_timeline,
@@ -30,9 +30,11 @@ class TestPercentile:
         assert percentile([], 95.0) == 0.0
 
     def test_bad_percentile_raises(self):
-        with pytest.raises(ServiceError):
+        # The shared implementation lives in repro.obs now; it raises
+        # ObsError (still a ReproError) on an out-of-range p.
+        with pytest.raises(ObsError):
             percentile([1.0], 101.0)
-        with pytest.raises(ServiceError):
+        with pytest.raises(ObsError):
             percentile([1.0], -1.0)
 
 

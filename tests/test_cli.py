@@ -168,3 +168,57 @@ class TestChaosCommand:
 
     def test_perf_rejects_bad_task_count(self, capsys):
         assert main(["perf", "--tasks", "not-a-number"]) == EXIT_USAGE
+
+
+class TestTraceCommand:
+    def test_trace_prints_summary_and_metrics(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "optimizer" in out and "admission" in out
+        assert "service.completed" in out
+
+    def test_trace_smoke_exits_zero(self, capsys):
+        assert main(["trace", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: trace " in out
+        assert "(faulted)" in out
+        assert "smoke failed" not in out
+
+    def test_trace_smoke_is_byte_stable(self, capsys):
+        assert main(["trace", "--smoke"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace", "--smoke"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_trace_smoke_failure_exits_one(self, capsys, monkeypatch):
+        # _cmd_trace resolves smoke_lines off the package at call time,
+        # so patching the attribute simulates a violated invariant.
+        import repro.obs
+
+        monkeypatch.setattr(
+            repro.obs,
+            "smoke_lines",
+            lambda *, seed=0: ["smoke failed: the trace is empty"],
+        )
+        assert main(["trace", "--smoke"]) == 1
+        assert "smoke failed" in capsys.readouterr().out
+
+    def test_trace_chrome_export_validates(self, capsys, tmp_path):
+        from repro.obs import validate_chrome
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--chrome", str(path)]) == 0
+        assert "open in Perfetto" in capsys.readouterr().out
+        assert validate_chrome(path.read_text()) is None
+
+    def test_trace_json_export(self, capsys, tmp_path):
+        path = tmp_path / "flat.json"
+        assert main(["trace", "--json", str(path), "--healthy"]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["events"]
+        assert "sim.pages" in payload["metrics"]["counters"]
+
+    def test_trace_rejects_bad_seed(self, capsys):
+        assert main(["trace", "--seed", "not-a-number"]) == EXIT_USAGE

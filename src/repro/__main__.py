@@ -10,6 +10,7 @@ Commands:
 * ``demo-sql``  — build a demo database and run a SQL statement.
 * ``serve``     — serving mode: open arrival stream + admission control.
 * ``chaos``     — run the simulator under an injected fault schedule.
+* ``recover``   — compare checkpointed resume against restart-from-scratch.
 * ``perf``      — time the micro engine's pages/sec throughput.
 * ``optbench``  — time the optimizer's plans/sec throughput.
 * ``trace``     — record a unified trace and export it (Chrome/JSON).
@@ -209,8 +210,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .errors import SimulationError
     from .faults import load_schedule, random_schedule
-    from .faults.chaos import run_chaos
+    from .faults.chaos import run_chaos, run_soak
 
+    if args.soak is not None:
+        try:
+            soak = run_soak(
+                n_schedules=args.soak,
+                scale=0.2 if args.smoke else args.scale,
+            )
+        except SimulationError as error:
+            print(f"chaos failed: {error}", file=sys.stderr)
+            return 1
+        print("\n".join(soak.to_lines()))
+        if not soak.ok:
+            print("chaos failed: soak verdict FAILED", file=sys.stderr)
+            return 1
+        return 0
     schedule = None
     if args.schedule is not None:
         schedule = load_schedule(args.schedule)
@@ -238,6 +253,35 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print("\n".join(report.to_lines()))
     if not report.ok:
         print("chaos failed: fault tolerance verdict FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .faults import load_schedule
+    from .recovery.harness import run_recover, smoke_lines
+
+    if args.smoke:
+        lines = smoke_lines(seed=args.seed)
+        print("\n".join(lines))
+        if any(line.startswith("smoke failed") for line in lines):
+            return 1
+        return 0
+    schedule = (
+        load_schedule(args.schedule) if args.schedule is not None else None
+    )
+    report = run_recover(
+        seed=args.seed,
+        scale=args.scale,
+        preset=args.preset,
+        schedule=schedule,
+    )
+    print("\n".join(report.to_lines()))
+    if not report.complete:
+        print(
+            "recover failed: an arm did not finish every task",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -497,7 +541,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="quick deterministic run on a shrunken workload",
     )
+    chaos.add_argument(
+        "--soak",
+        type=int,
+        default=None,
+        metavar="N",
+        help="soak mode: N random schedules x 3 seeds, each layered "
+        "with deadline cancellations and periodic master crashes; "
+        "fails on any conservation violation or wedged round",
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    recover = commands.add_parser(
+        "recover",
+        help="compare checkpointed resume against restart-from-scratch "
+        "under a crash-heavy fault schedule",
+    )
+    recover.add_argument("--seed", type=int, default=0)
+    recover.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier",
+    )
+    recover.add_argument(
+        "--preset",
+        choices=(
+            "slow-disk",
+            "stall",
+            "crashes",
+            "messages",
+            "mixed",
+            "crash-heavy",
+        ),
+        default="crash-heavy",
+        help="built-in fault schedule (scaled to the healthy elapsed time)",
+    )
+    recover.add_argument(
+        "--schedule",
+        default=None,
+        metavar="FILE",
+        help="JSON fault-schedule file (overrides --preset)",
+    )
+    recover.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick deterministic run on a shrunken workload",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     perf = commands.add_parser(
         "perf", help="time the micro engine's pages/sec throughput"

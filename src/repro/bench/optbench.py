@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..catalog.catalog import Catalog
+from ..core.ids import id_scope
 from ..errors import OptimizerError
 from ..optimizer import (
     OptimizerCaches,
@@ -196,15 +197,20 @@ def bench_workload(
     """
     if n_relations < 2:
         raise OptimizerError("optbench needs at least 2 relations")
-    if topology == "star":
-        return star_join(
-            n_relations - 1,
-            fact_rows=_STAR_FACT_ROWS,
-            dimension_rows=_STAR_DIM_ROWS,
-            seed=seed,
-        )
-    if topology == "chain":
-        return chain_join(n_relations, rows_per_relation=_CHAIN_ROWS, seed=seed)
+    # Scoped node ids: two bench_workload calls with the same arguments
+    # build byte-identical schemas, so in-process reruns are repeatable.
+    with id_scope():
+        if topology == "star":
+            return star_join(
+                n_relations - 1,
+                fact_rows=_STAR_FACT_ROWS,
+                dimension_rows=_STAR_DIM_ROWS,
+                seed=seed,
+            )
+        if topology == "chain":
+            return chain_join(
+                n_relations, rows_per_relation=_CHAIN_ROWS, seed=seed
+            )
     raise OptimizerError(f"unknown topology: {topology!r}")
 
 

@@ -1,0 +1,65 @@
+"""Scoped id sources for tasks, plan nodes and submissions.
+
+Historically every auto-assigned id (``Task.task_id``,
+``PlanNode.node_id``, ``ServiceSubmission.submission_id``) came from a
+process-global ``itertools.count()``.  Uniqueness was easy, but any
+behavior keyed on an id — retry-backoff jitter hashes
+``(seed, submission_id, attempt)`` — silently depended on *how many
+objects the process had ever created*, so two identical runs in one
+process diverged.
+
+:class:`IdSource` is one named counter; :func:`id_scope` pushes a fresh
+set of counters for the duration of a ``with`` block.  Workload and
+stream builders wrap their generation in a scope, making ids a pure
+function of the builder's inputs: two calls produce identical ids, and
+therefore identical jitter, traces and digests.
+
+Outside any scope the default (process-global) counters apply, which
+preserves the historical behavior for ad-hoc object creation.  Ids only
+need to be unique within one engine run or stream, which a scope
+guarantees by construction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+_SCOPES: list[dict[str, int]] = []
+_DEFAULT: dict[str, int] = {}
+
+
+class IdSource:
+    """One named id counter honoring the active :func:`id_scope`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self) -> int:
+        counters = _SCOPES[-1] if _SCOPES else _DEFAULT
+        value = counters.get(self.name, 0)
+        counters[self.name] = value + 1
+        return value
+
+
+@contextlib.contextmanager
+def id_scope() -> Iterator[None]:
+    """Reset every :class:`IdSource` to zero for the enclosed block.
+
+    Scopes nest; leaving the block restores the enclosing scope (or the
+    process-global counters) exactly where they were.
+    """
+    _SCOPES.append({})
+    try:
+        yield
+    finally:
+        _SCOPES.pop()
+
+
+#: The three library-wide id sources.  Modules bind these at import
+#: time; the scope lookup happens per call, not per binding.
+task_ids = IdSource("task")
+node_ids = IdSource("node")
+submission_ids = IdSource("submission")

@@ -64,7 +64,22 @@ class Shed:
     task: Task
 
 
-Action = Start | Adjust | Shed
+@dataclass(frozen=True)
+class Cancel:
+    """Cooperatively cancel a task, running or not (deadline enforcement).
+
+    Unlike :class:`Shed` (pending only), a Cancel may target a running
+    task: the engine stops its slaves at the next event boundary,
+    releases disks and processors, and records the task as cancelled —
+    never completed.  ``reason`` distinguishes deadline kills from
+    transitive dependency cancels in the trace.
+    """
+
+    task: Task
+    reason: str = "deadline"
+
+
+Action = Start | Adjust | Shed | Cancel
 
 
 class RunningTaskView(Protocol):

@@ -16,13 +16,11 @@ operations in the tasks do not affect the performance" (Section 3).
 from __future__ import annotations
 
 import dataclasses
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 
 from ..errors import SchedulingError
-
-_task_ids = itertools.count()
+from .ids import task_ids as _task_ids
 
 
 class IOPattern(Enum):
@@ -64,7 +62,7 @@ class Task:
     arrival_time: float = 0.0
     depends_on: frozenset[int] = frozenset()
     memory_bytes: float = 0.0
-    task_id: int = field(default_factory=lambda: next(_task_ids))
+    task_id: int = field(default_factory=_task_ids)
     payload: object | None = field(default=None, compare=False, hash=False)
 
     def __post_init__(self) -> None:

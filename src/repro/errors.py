@@ -80,9 +80,20 @@ class BTreeError(StorageError):
     """A B+tree invariant was violated or a bad key was supplied."""
 
 
-#: Deprecated alias kept for one release: the old name shadow-punned the
-#: ``IndexError`` builtin.  New code must catch :class:`BTreeError`.
-IndexError_ = BTreeError
+def __getattr__(name: str):
+    # ``IndexError_`` shadow-punned the ``IndexError`` builtin and is
+    # retired; the lazy shim keeps old imports working for one release
+    # while warning loudly.  New code must catch :class:`BTreeError`.
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; catch BTreeError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return BTreeError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # --------------------------------------------------------------------------
@@ -162,6 +173,38 @@ class FaultError(ReproError):
 
 
 # --------------------------------------------------------------------------
+# recovery
+
+
+class RecoveryError(ReproError):
+    """A checkpoint could not be captured, serialized or restored."""
+
+
+class MasterCrashError(ReproError):
+    """The whole engine crashed at a scheduled instant (fault injection).
+
+    Raised out of :meth:`MicroSimulator.run` when a ``master-crash``
+    fault fires; :func:`repro.recovery.run_with_recovery` catches it and
+    resumes from the last checkpoint.
+
+    Attributes:
+        at: simulated time of the crash.
+        checkpoint_at: time of the newest checkpoint taken before the
+            crash, or ``None`` when no checkpoint exists yet.
+    """
+
+    def __init__(self, at: float, checkpoint_at: float | None = None) -> None:
+        tail = (
+            f"; last checkpoint at t={checkpoint_at:.3f}"
+            if checkpoint_at is not None
+            else "; no checkpoint yet"
+        )
+        super().__init__(f"master crashed at t={at:.3f}{tail}")
+        self.at = at
+        self.checkpoint_at = checkpoint_at
+
+
+# --------------------------------------------------------------------------
 # observability
 
 
@@ -222,6 +265,30 @@ class RetryExhaustedError(ServiceError):
         )
         self.submission_id = submission_id
         self.attempts = attempts
+
+
+class DeadlineExceededError(ServiceError):
+    """A query overran its deadline budget and was cancelled.
+
+    Cooperative cancellation: the holder of the budget raises (or logs)
+    this error at a clean boundary, releases its resources, and leaves
+    every conservation invariant intact — a cancelled query never wedges
+    an adjustment round.
+
+    Attributes:
+        name: the query or task that blew its budget.
+        deadline: the absolute virtual-time deadline.
+        now: virtual time when the overrun was detected.
+    """
+
+    def __init__(self, name: str, deadline: float, now: float) -> None:
+        super().__init__(
+            f"{name!r} exceeded its deadline "
+            f"(deadline t={deadline:.3f}, now t={now:.3f})"
+        )
+        self.name = name
+        self.deadline = deadline
+        self.now = now
 
 
 class CircuitOpenError(ServiceError):

@@ -19,13 +19,16 @@ from .schedule import (
     DiskStall,
     Fault,
     FaultSchedule,
+    MasterCrash,
     MessageFault,
+    QueryDeadline,
     SlaveCrash,
     fault_from_dict,
     load_schedule,
     preset_schedule,
     random_schedule,
     schedule_from_dicts,
+    with_deadlines,
 )
 
 __all__ = [
@@ -39,7 +42,9 @@ __all__ = [
     "FaultInjector",
     "FaultLog",
     "FaultSchedule",
+    "MasterCrash",
     "MessageFault",
+    "QueryDeadline",
     "RetryPolicy",
     "SlaveCrash",
     "fault_from_dict",
@@ -47,4 +52,5 @@ __all__ = [
     "preset_schedule",
     "random_schedule",
     "schedule_from_dicts",
+    "with_deadlines",
 ]

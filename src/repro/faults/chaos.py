@@ -23,16 +23,23 @@ from ``repro.faults.__init__`` (the simulators import that package).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..config import MachineConfig, paper_machine
 from ..core.schedulers import InterWithAdjPolicy
 from ..core.task import IOPattern
 from ..errors import FaultError
+from ..recovery.manager import RecoveryManager, RecoveryRun, run_with_recovery
 from ..sim.fluid import ScheduleResult
 from ..sim.micro import MicroSimulator, ScanSpec, spec_for_io_rate
 from .injector import FaultLog
-from .schedule import FaultSchedule, preset_schedule
+from .schedule import (
+    FaultSchedule,
+    MasterCrash,
+    preset_schedule,
+    random_schedule,
+    with_deadlines,
+)
 
 #: Scan shapes of the standard chaos workload: (name, io rate in ios/s,
 #: pages at full size, access pattern, partitioning protocol).
@@ -70,12 +77,19 @@ def chaos_workload(
 
 @dataclass
 class ChaosReport:
-    """Outcome of one chaos run (healthy baseline + faulted replay)."""
+    """Outcome of one chaos run (healthy baseline + faulted replay).
+
+    ``recovery`` is set when the schedule contained ``master-crash``
+    faults: the faulted arm is then driven by
+    :func:`~repro.recovery.manager.run_with_recovery` and ``faulted``
+    is the final (completed) attempt's result.
+    """
 
     schedule: FaultSchedule
     seed: int
     healthy: ScheduleResult
     faulted: ScheduleResult
+    recovery: RecoveryRun | None = None
 
     @property
     def log(self) -> FaultLog:
@@ -101,11 +115,17 @@ class ChaosReport:
 
         Completion of every task implies page conservation: the engine
         raises on any page processed twice, and a task only completes
-        once every page is processed.  On top of that, every protocol
-        timeout must have resolved via abort-and-restart.
+        once every page is processed.  Deadline-cancelled tasks are
+        accounted explicitly — completed plus cancelled must cover the
+        healthy run's task set, so nothing vanishes silently.  On top
+        of that, every protocol timeout must have resolved via
+        abort-and-restart.
         """
+        accounted = len(self.faulted.records) + len(
+            self.faulted.cancel_records
+        )
         return (
-            len(self.faulted.records) == len(self.healthy.records)
+            accounted == len(self.healthy.records)
             and self.wedged_adjustments == 0
         )
 
@@ -131,10 +151,25 @@ class ChaosReport:
             f"  pages re-read:     {log.pages_reread}",
             f"  adjust timeouts:   {log.adjust_timeouts}",
             f"  adjust aborts:     {log.adjust_aborts}",
-            f"verdict: {'OK' if self.ok else 'FAILED'} "
-            f"({len(self.faulted.records)}/{len(self.healthy.records)} tasks, "
-            f"{self.wedged_adjustments} wedged adjustments)",
+            f"  master crashes:    {log.master_crashes}",
+            f"  deadline cancels:  {log.deadline_cancels}",
         ]
+        if self.recovery is not None:
+            rec = self.recovery
+            lines += [
+                "recovery:",
+                f"  attempts:          {rec.attempts}",
+                f"  checkpoints:       {rec.checkpoints}",
+                f"  restores:          {rec.restores}",
+                f"  lost work:         {rec.lost_work:.4f}s",
+            ]
+        cancelled = len(self.faulted.cancel_records)
+        lines.append(
+            f"verdict: {'OK' if self.ok else 'FAILED'} "
+            f"({len(self.faulted.records)}+{cancelled}/"
+            f"{len(self.healthy.records)} tasks, "
+            f"{self.wedged_adjustments} wedged adjustments)"
+        )
         return lines
 
 
@@ -173,14 +208,133 @@ def run_chaos(
     ).run(specs, policy())
     if schedule is None:
         schedule = preset_schedule(preset, horizon=healthy.elapsed)
-    faulted = MicroSimulator(
+    simulator = MicroSimulator(
         machine,
         seed=seed,
         consult_interval=consult_interval,
         faults=schedule,
         fault_seed=seed,
         adjust_timeout=adjust_timeout,
-    ).run(specs, policy())
-    return ChaosReport(
-        schedule=schedule, seed=seed, healthy=healthy, faulted=faulted
     )
+    recovery: RecoveryRun | None = None
+    if schedule.master_crashes:
+        # Master crashes abort the whole run; drive it to completion
+        # through the checkpoint/resume loop.
+        recovery = run_with_recovery(
+            simulator,
+            specs,
+            policy(),
+            manager=RecoveryManager(min_interval=consult_interval),
+        )
+        faulted = recovery.result
+    else:
+        faulted = simulator.run(specs, policy())
+    return ChaosReport(
+        schedule=schedule,
+        seed=seed,
+        healthy=healthy,
+        faulted=faulted,
+        recovery=recovery,
+    )
+
+
+@dataclass
+class SoakReport:
+    """Aggregate verdict of a chaos soak (many schedules × seeds).
+
+    A soak run is the recovery subsystem's endurance test: every run
+    must conserve pages (completed + cancelled tasks cover the healthy
+    task set) and resolve every adjustment timeout — one wedged round
+    anywhere fails the whole soak.
+    """
+
+    n_schedules: int
+    seeds: tuple[int, ...]
+    runs: int = 0
+    cancels: int = 0
+    crashes: int = 0
+    restores: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_lines(self) -> list[str]:
+        """Render the soak summary block, one counter per line."""
+        lines = [
+            f"soak: {self.runs} runs "
+            f"({self.n_schedules} schedules x seeds {list(self.seeds)})",
+            f"  deadline cancels:  {self.cancels}",
+            f"  master crashes:    {self.crashes}",
+            f"  restores:          {self.restores}",
+        ]
+        lines.extend(f"  FAILED {failure}" for failure in self.failures)
+        lines.append(f"verdict: {'OK' if self.ok else 'FAILED'} "
+                     f"({len(self.failures)} failures)")
+        return lines
+
+
+def run_soak(
+    *,
+    n_schedules: int = 25,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    scale: float = 0.2,
+    machine: MachineConfig | None = None,
+    max_deadlines: int = 2,
+) -> SoakReport:
+    """Chaos-soak the engine: random fault schedules layered with
+    deadline cancellations, every combination checked for conservation
+    and wedge-freedom.
+
+    For each seed, ``n_schedules`` seeded random schedules are drawn
+    against the measured healthy horizon, each layered with up to
+    ``max_deadlines`` :class:`~repro.faults.schedule.QueryDeadline`
+    events, and replayed.  Pure function of its arguments — a CI soak
+    and a local one disagree only if the engine does.
+    """
+    machine = machine or paper_machine()
+    task_names = tuple(shape[0] for shape in _WORKLOAD_SHAPE)
+    report = SoakReport(n_schedules=n_schedules, seeds=tuple(seeds))
+    for seed in seeds:
+        horizon = MicroSimulator(
+            machine, seed=seed, consult_interval=1.0
+        ).run(chaos_workload(machine, scale=scale),
+              InterWithAdjPolicy(integral=True, degradation_aware=True),
+              ).elapsed
+        for index in range(n_schedules):
+            schedule = random_schedule(
+                index, horizon=horizon, task_names=task_names
+            )
+            schedule = with_deadlines(
+                schedule,
+                index,
+                horizon=horizon,
+                task_names=task_names,
+                max_deadlines=max_deadlines,
+            )
+            if index % 5 == 0:
+                # Every fifth schedule also loses the master mid-run,
+                # so the soak exercises checkpointed resume under
+                # random fault mixes, not just the curated preset.
+                schedule = FaultSchedule(
+                    schedule.faults + (MasterCrash(at=0.4 * horizon),)
+                )
+            run = run_chaos(schedule=schedule, seed=seed, scale=scale)
+            report.runs += 1
+            report.cancels += len(run.faulted.cancel_records)
+            if run.recovery is not None:
+                report.crashes += run.recovery.crashes
+                report.restores += run.recovery.restores
+            else:
+                report.crashes += run.log.master_crashes
+            if not run.ok:
+                accounted = len(run.faulted.records) + len(
+                    run.faulted.cancel_records
+                )
+                report.failures.append(
+                    f"seed={seed} schedule={index}: "
+                    f"{accounted}/{len(run.healthy.records)} tasks, "
+                    f"{run.wedged_adjustments} wedged"
+                )
+    return report

@@ -42,6 +42,8 @@ class FaultLog:
     pages_reread: int = 0
     adjust_timeouts: int = 0
     adjust_aborts: int = 0
+    master_crashes: int = 0
+    deadline_cancels: int = 0
 
     def record(self, t: float, kind: str, detail: str) -> None:
         """Append one ``(t, kind, detail)`` event."""
@@ -56,6 +58,8 @@ class FaultLog:
             + self.crashes
             + self.messages_dropped
             + self.messages_delayed
+            + self.master_crashes
+            + self.deadline_cancels
         )
 
     def to_lines(self) -> list[str]:
@@ -131,6 +135,15 @@ class FaultInjector:
     def stalled_until(self, disk_id: int) -> float:
         """Until when the disk dispatches nothing (0.0 = not stalled)."""
         return self._stalled_until.get(disk_id, 0.0)
+
+    def skip_messages_before(self, t: float) -> None:
+        """Drop pending message faults with ``at <= t`` (resume support).
+
+        A resumed engine cannot know which message faults the crashed
+        attempt had already consumed; the convention is that every fault
+        timed at or before the checkpoint is spent.
+        """
+        self._message_queue = [f for f in self._message_queue if f.at > t]
 
     # -- protocol messages --------------------------------------------------------
 

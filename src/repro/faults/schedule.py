@@ -119,7 +119,59 @@ class MessageFault:
             raise FaultError("message: delay needs extra > 0")
 
 
-Fault = DiskDegradation | DiskStall | SlaveCrash | MessageFault
+@dataclass(frozen=True)
+class MasterCrash:
+    """The whole engine dies at time ``at``.
+
+    Unlike a :class:`SlaveCrash` (which the master repairs in-line),
+    a master crash ends the run: the engine raises
+    :class:`~repro.errors.MasterCrashError` out of ``run()``.  Only the
+    recovery harness (:func:`repro.recovery.run_with_recovery`) can
+    continue — by resuming from the last checkpoint, or from scratch
+    when checkpointing is off.
+    """
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError("master-crash: at must be >= 0")
+
+
+@dataclass(frozen=True)
+class QueryDeadline:
+    """Cancel one task cooperatively when it is unfinished at ``at``.
+
+    The engine-level form of a deadline budget: when the task named
+    ``task`` has not completed by ``at``, the master cancels it at a
+    clean event boundary — slaves released, in-flight adjustment rounds
+    staled out, page conservation intact — and records a
+    :class:`~repro.errors.DeadlineExceededError` in the fault log
+    instead of wedging.
+
+    Attributes:
+        at: the absolute virtual-time deadline.
+        task: name of the task under the deadline.
+    """
+
+    at: float
+    task: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError("deadline: at must be >= 0")
+        if not self.task:
+            raise FaultError("deadline: a task name is required")
+
+
+Fault = (
+    DiskDegradation
+    | DiskStall
+    | SlaveCrash
+    | MessageFault
+    | MasterCrash
+    | QueryDeadline
+)
 
 
 @dataclass(frozen=True)
@@ -150,6 +202,20 @@ class FaultSchedule:
     def message_faults(self) -> tuple[MessageFault, ...]:
         return tuple(f for f in self.faults if isinstance(f, MessageFault))
 
+    @property
+    def master_crashes(self) -> tuple[MasterCrash, ...]:
+        return tuple(f for f in self.faults if isinstance(f, MasterCrash))
+
+    @property
+    def deadlines(self) -> tuple[QueryDeadline, ...]:
+        return tuple(f for f in self.faults if isinstance(f, QueryDeadline))
+
+    def without_master_crashes(self) -> "FaultSchedule":
+        """This schedule with every :class:`MasterCrash` removed."""
+        return FaultSchedule(
+            tuple(f for f in self.faults if not isinstance(f, MasterCrash))
+        )
+
     def validate_against(self, n_disks: int) -> None:
         """Reject faults naming a disk outside ``[0, n_disks)``."""
         for fault in self.faults:
@@ -170,6 +236,8 @@ _KIND_KEYS = {
     "crash": ("at", "task", "slave_index"),
     "drop": ("at",),
     "delay": ("at", "extra"),
+    "master-crash": ("at",),
+    "deadline": ("at", "task"),
 }
 
 
@@ -193,6 +261,10 @@ def fault_from_dict(raw: dict) -> Fault:
             return SlaveCrash(**args)
         if kind == "drop":
             return MessageFault(kind="drop", **args)
+        if kind == "master-crash":
+            return MasterCrash(**args)
+        if kind == "deadline":
+            return QueryDeadline(**args)
         return MessageFault(kind="delay", **args)
     except TypeError as exc:
         raise FaultError(f"{kind}: {exc}") from None
@@ -232,6 +304,8 @@ def preset_schedule(name: str, *, horizon: float = 60.0) -> FaultSchedule:
         ``crashes``   — three slave crashes spread over the run.
         ``messages``  — dropped and delayed protocol legs.
         ``mixed``     — all of the above at once.
+        ``crash-heavy`` — three master crashes plus slave crashes and a
+        degradation: the recovery benchmark's schedule.
     """
     t = horizon
     table: dict[str, tuple[Fault, ...]] = {
@@ -258,6 +332,17 @@ def preset_schedule(name: str, *, horizon: float = 60.0) -> FaultSchedule:
         + table["stall"][:1]
         + table["crashes"][:2]
         + table["messages"]
+    )
+    # The recovery benchmark's schedule: three whole-engine crashes late
+    # in the run (where a restart-from-scratch hurts most) on top of the
+    # usual slave crashes and a mid-run degradation.
+    table["crash-heavy"] = (
+        DiskDegradation(disk=0, start=t / 4, duration=t / 2, factor=0.6),
+        SlaveCrash(at=t / 6),
+        SlaveCrash(at=t / 2),
+        MasterCrash(at=0.35 * t),
+        MasterCrash(at=0.6 * t),
+        MasterCrash(at=0.85 * t),
     )
     try:
         return FaultSchedule(table[name])
@@ -309,6 +394,37 @@ def random_schedule(
             faults.append(MessageFault(at=at, kind="drop"))
         else:
             faults.append(MessageFault(at=at, kind="delay", extra=rng.uniform(0.01, 0.2)))
+    faults.sort(key=_fault_time)
+    return FaultSchedule(tuple(faults))
+
+
+def with_deadlines(
+    schedule: FaultSchedule,
+    seed: int,
+    *,
+    horizon: float,
+    task_names: tuple[str, ...],
+    max_deadlines: int = 2,
+) -> FaultSchedule:
+    """Layer seeded :class:`QueryDeadline` events onto a schedule.
+
+    A *separate* generator on a separate RNG so the draw sequence of
+    :func:`random_schedule` (pinned by the frozen trace corpus) is
+    untouched.  Deadlines land in the middle half of the horizon, where
+    the named tasks are typically still running.
+    """
+    if not task_names:
+        raise FaultError("with_deadlines: task_names must be non-empty")
+    rng = random.Random(f"deadlines:{seed}")
+    extra: list[Fault] = []
+    for __ in range(rng.randint(1, max_deadlines)):
+        extra.append(
+            QueryDeadline(
+                at=rng.uniform(horizon / 4, 3 * horizon / 4),
+                task=rng.choice(task_names),
+            )
+        )
+    faults = list(schedule.faults) + extra
     faults.sort(key=_fault_time)
     return FaultSchedule(tuple(faults))
 

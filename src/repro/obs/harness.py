@@ -131,9 +131,9 @@ def run_trace(
         machine,
         queue_capacity=2,
         max_inflight_fragments=2,
-        # jitter=0: the jitter is keyed on process-global submission
-        # ids, which would break same-process trace repeatability.
-        retry=RetryPolicy(max_retries=2, base_delay=1.0, jitter=0.0, seed=seed),
+        # Full default jitter: submission ids are stream-scoped now, so
+        # the jitter hash is repeatable within one process.
+        retry=RetryPolicy(max_retries=2, base_delay=1.0, seed=seed),
         breaker=CircuitBreaker(tracer=tracer),
         tracer=tracer,
         metrics=metrics,

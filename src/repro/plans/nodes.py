@@ -15,18 +15,16 @@ are what decompose a plan into fragments (tasks).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..catalog.catalog import Catalog
 from ..catalog.schema import Schema
+from ..core.ids import node_ids as _node_ids
 from ..errors import PlanError
 from ..executor import operators as ops
 from ..executor.expressions import Expression
 from ..executor.iterator import Operator
-
-_node_ids = itertools.count()
 
 
 class PlanNode:
@@ -43,7 +41,7 @@ class PlanNode:
 
     def _init_node(self, *children: "PlanNode") -> None:
         self.children = tuple(children)
-        self.node_id = next(_node_ids)
+        self.node_id = _node_ids()
 
     def blocking_children(self) -> tuple[int, ...]:
         """Indices of children whose edges are blocking (Section 2.1)."""

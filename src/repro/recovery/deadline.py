@@ -1,0 +1,75 @@
+"""Deadline budgets: remaining virtual time, end to end.
+
+A :class:`DeadlineBudget` is created at admission
+(``QueryService.submit(deadline=...)``) and rides the query through the
+stack as *remaining virtual time*:
+
+* optimizer phase 1 consults it (:meth:`require`) and degrades its
+  search space deterministically when the budget is tight
+  (:meth:`degrade_mode` — bushy/parcost falls back to the cheap
+  left-deep space rather than burning budget on enumeration);
+* the serving gate enforces it (shed-vs-kill policy in
+  ``service/server.py``);
+* the engine-level form is a ``deadline`` fault event
+  (:class:`~repro.faults.schedule.QueryDeadline`) that cancels the
+  task cooperatively.
+
+Everything is virtual time: the budget never reads a wall clock, so
+deadline behavior is a deterministic function of the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, DeadlineExceededError
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """An absolute virtual-time deadline for one query.
+
+    Attributes:
+        name: the query the budget belongs to (error messages).
+        deadline: absolute virtual-time deadline.
+        submitted_at: when the query entered the system.
+        degrade_below: remaining-budget threshold (seconds) under which
+            budget-aware consumers switch to their cheap path; 0
+            disables degradation.
+    """
+
+    name: str
+    deadline: float
+    submitted_at: float = 0.0
+    degrade_below: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.deadline < self.submitted_at:
+            raise ConfigError(
+                f"{self.name!r}: deadline precedes the submission time"
+            )
+        if self.degrade_below < 0:
+            raise ConfigError(f"{self.name!r}: degrade_below must be >= 0")
+
+    def remaining(self, now: float) -> float:
+        """Virtual seconds left before the deadline (may be negative)."""
+        return self.deadline - now
+
+    def expired(self, now: float) -> bool:
+        """Has the deadline passed at virtual time ``now``?"""
+        return now > self.deadline
+
+    def require(self, now: float) -> None:
+        """Raise when the budget is already blown.
+
+        Raises:
+            DeadlineExceededError: ``now`` is past the deadline.
+        """
+        if self.expired(now):
+            raise DeadlineExceededError(self.name, self.deadline, now)
+
+    def degraded(self, now: float) -> bool:
+        """Should a budget-aware consumer take its cheap path?"""
+        return self.degrade_below > 0 and (
+            self.remaining(now) < self.degrade_below
+        )

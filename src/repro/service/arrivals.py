@@ -30,6 +30,7 @@ import numpy as np
 
 from ..config import MachineConfig, paper_machine
 from ..core.balance import intra_time
+from ..core.ids import id_scope
 from ..errors import ConfigError
 from ..optimizer.multiquery import rewire_dependencies
 from ..workloads import RateBands, WorkloadConfig, WorkloadKind, generate_tasks
@@ -176,6 +177,23 @@ def _build_submissions(
     seed: int,
 ) -> list[ServiceSubmission]:
     """Bundle mix tasks and stamp one arrival time per submission."""
+    with id_scope():
+        return _build_submissions_scoped(
+            arrival_times, config=config, machine=machine, seed=seed
+        )
+
+
+def _build_submissions_scoped(
+    arrival_times: list[float],
+    *,
+    config: ArrivalConfig,
+    machine: MachineConfig,
+    seed: int,
+) -> list[ServiceSubmission]:
+    # Task and submission ids restart at zero inside the enclosing
+    # id_scope, making a stream a pure function of (seed, rate, config)
+    # even within one process — retry jitter keys on submission ids, so
+    # this is what makes two in-process runs byte-identical.
     rng = np.random.default_rng(seed)
     sizes = [
         int(rng.integers(1, config.max_bundle + 1))

@@ -44,6 +44,10 @@ class TenantMetrics:
     completed: int = 0
     #: Backoff re-offers made for this tenant's shed submissions.
     retries: int = 0
+    #: Submissions killed by deadline-budget enforcement.
+    deadline_cancelled: int = 0
+    #: Submissions that completed degraded (fragments shed at deadline).
+    degraded: int = 0
     slo_tagged: int = 0
     slo_misses: int = 0
     response_times: list[float] = field(default_factory=list)
@@ -102,6 +106,8 @@ class ServiceMetrics:
             total.rejected += tm.rejected
             total.completed += tm.completed
             total.retries += tm.retries
+            total.deadline_cancelled += tm.deadline_cancelled
+            total.degraded += tm.degraded
             total.slo_tagged += tm.slo_tagged
             total.slo_misses += tm.slo_misses
             total.response_times.extend(tm.response_times)

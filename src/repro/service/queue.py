@@ -16,10 +16,9 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from ..core.ids import submission_ids as _submission_ids
 from ..core.task import Task
 from ..errors import AdmissionError, ServiceOverloadError
-
-_submission_ids = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -44,7 +43,7 @@ class ServiceSubmission:
     tasks: tuple[Task, ...]
     arrival_time: float = 0.0
     deadline: float | None = None
-    submission_id: int = field(default_factory=lambda: next(_submission_ids))
+    submission_id: int = field(default_factory=_submission_ids)
 
     def __post_init__(self) -> None:
         if not self.tasks:

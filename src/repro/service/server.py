@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Sequence
 from ..config import MachineConfig, paper_machine
 from ..core.schedulers import (
     Action,
+    Cancel,
     EngineState,
     InterWithAdjPolicy,
     SchedulingPolicy,
@@ -58,12 +59,18 @@ class SubmissionOutcome:
 
     Attributes:
         submission: the submission itself.
-        status: ``"completed"`` or ``"rejected"``.
+        status: ``"completed"``, ``"rejected"``, ``"deadline"`` (the
+            deadline budget expired and the gate cancelled it — in the
+            queue or mid-run) or ``"degraded"`` (the gate shed some
+            not-yet-started fragments at the deadline but the rest ran
+            to completion).
         admitted_at: when the gate released it to the scheduler
-            (``None`` if rejected).
-        finished_at: when its last fragment completed (``None`` if
-            rejected).
+            (``None`` if it never got in).
+        finished_at: when its last surviving fragment completed
+            (``None`` if rejected or deadline-cancelled).
         rejected_at: when it was shed (``None`` if it ran).
+        cancelled_at: when the deadline budget cancelled or degraded it
+            (``None`` otherwise).
     """
 
     submission: ServiceSubmission
@@ -71,6 +78,7 @@ class SubmissionOutcome:
     admitted_at: float | None = None
     finished_at: float | None = None
     rejected_at: float | None = None
+    cancelled_at: float | None = None
 
     @property
     def response_time(self) -> float:
@@ -134,12 +142,20 @@ class _GatedView:
 
     The inner policy sees the true clock, machine and running set, but
     only the admitted subset of pending tasks — everything else is
-    still waiting at the admission gate.
+    still waiting at the admission gate.  ``banned`` hides running
+    tasks the gate is cancelling this round, so the inner policy cannot
+    adjust a task that will be gone before its action applies.
     """
 
-    def __init__(self, state: EngineState, allowed: set[int]) -> None:
+    def __init__(
+        self,
+        state: EngineState,
+        allowed: set[int],
+        banned: set[int] | None = None,
+    ) -> None:
         self._state = state
         self._allowed = allowed
+        self._banned = banned
         self.machine = state.machine
         self.completed_ids = state.completed_ids
         self.effective_machine = getattr(
@@ -152,7 +168,12 @@ class _GatedView:
 
     @property
     def running(self):
-        return self._state.running
+        banned = self._banned
+        if not banned:
+            return self._state.running
+        return [
+            r for r in self._state.running if r.task.task_id not in banned
+        ]
 
     @property
     def pending(self) -> list[Task]:
@@ -181,6 +202,20 @@ class AdmissionGate(SchedulingPolicy):
             after consecutive sheds or under sustained measured
             bandwidth degradation, rejecting offers outright until a
             cooldown probe succeeds; ``None`` disables it.
+        deadline_policy: what a submission's ``deadline`` means.
+            ``"off"`` (default): a soft SLO tag, recorded but never
+            enforced — the pre-recovery behaviour.  ``"kill"``: at the
+            deadline every unfinished fragment is cooperatively
+            cancelled and the submission's status becomes
+            ``"deadline"``.  ``"shed"``: graceful degradation — at the
+            deadline not-yet-started fragments are cancelled cheapest
+            first while running ones get ``deadline_grace`` extra
+            seconds to finish; if they do, the submission completes
+            ``"degraded"``, otherwise it is killed at the grace bound.
+        deadline_grace: extra virtual seconds ``"shed"`` grants running
+            fragments past the deadline before killing them (0 kills
+            at the deadline, like ``"kill"`` but shedding cheapest
+            pending fragments first).
         tracer: a :class:`~repro.obs.Tracer` recording admission
             decisions (queue-wait spans, backoff/shed instants) at
             virtual time; ``None`` (or the falsy NullTracer) records
@@ -199,16 +234,28 @@ class AdmissionGate(SchedulingPolicy):
         max_inflight_fragments: int = 6,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        deadline_policy: str = "off",
+        deadline_grace: float = 0.0,
         tracer=None,
     ) -> None:
         if max_inflight_fragments < 1:
             raise AdmissionError(-1, "max_inflight_fragments must be >= 1")
+        if deadline_policy not in ("off", "shed", "kill"):
+            raise AdmissionError(
+                -1,
+                f"deadline_policy must be 'off', 'shed' or 'kill', "
+                f"not {deadline_policy!r}",
+            )
+        if deadline_grace < 0:
+            raise AdmissionError(-1, "deadline_grace must be >= 0")
         self.inner = inner
         self.admission = admission
         self.queue_capacity = queue_capacity
         self.max_inflight_fragments = max_inflight_fragments
         self.retry = retry
         self.breaker = breaker
+        self.deadline_policy = deadline_policy
+        self.deadline_grace = deadline_grace
         self.tracer = tracer or None
         self._stream = sorted(
             submissions, key=lambda s: (s.arrival_time, s.submission_id)
@@ -228,6 +275,12 @@ class AdmissionGate(SchedulingPolicy):
         self._by_submission: dict[int, ServiceSubmission] = {}
         self.admitted_at: dict[int, float] = {}
         self.rejected_at: dict[int, float] = {}
+        #: Submissions killed by their deadline budget (sid -> when).
+        self.deadline_cancelled_at: dict[int, float] = {}
+        #: Submissions degraded (fragments shed) at their deadline.
+        self.degraded_at: dict[int, float] = {}
+        #: Task ids cancelled by deadline enforcement.
+        self.cancelled_tasks: set[int] = set()
         #: Deferred re-offers: (due_time, submission_id, attempt, submission).
         self._retries: list[tuple[float, int, int, ServiceSubmission]] = []
         #: Retries performed per submission id.
@@ -315,11 +368,136 @@ class AdmissionGate(SchedulingPolicy):
             actions.extend(self._offer(submission, attempt, state))
         return actions
 
+    def _cancel_instant(
+        self, submission: ServiceSubmission, label: str, now: float, n: int
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"{label} {submission.name}",
+                t=now,
+                track=f"tenant:{submission.tenant}",
+                cat="deadline",
+                args={"deadline": submission.deadline, "fragments": n},
+            )
+
+    def _enforce_deadlines(self, state: EngineState) -> list[Action]:
+        """Cancel work whose deadline budget has expired.
+
+        Waiting and backing-off submissions past their deadline are
+        dropped without ever running.  Admitted submissions past their
+        deadline are killed outright (``"kill"``) or degraded
+        (``"shed"``): not-yet-started fragments are cancelled cheapest
+        first, running ones get ``deadline_grace`` more virtual seconds
+        before they are killed too.  Every cancelled fragment becomes a
+        :class:`~repro.core.schedulers.Cancel` action, so the engine
+        releases its resources and records a ``CancelRecord`` — no
+        wedged rounds, no silent disappearance.
+        """
+        if self.deadline_policy == "off":
+            return []
+        now = state.now
+        actions: list[Action] = []
+
+        def drop(submission: ServiceSubmission, label: str) -> None:
+            sid = submission.submission_id
+            self.deadline_cancelled_at.setdefault(sid, now)
+            self._cancel_instant(
+                submission, label, now, submission.n_fragments
+            )
+            for task in submission.tasks:
+                if task.task_id in self.cancelled_tasks:
+                    continue
+                self.cancelled_tasks.add(task.task_id)
+                actions.append(Cancel(task, "deadline"))
+
+        # Queued submissions whose budget ran out before admission.
+        for entry in list(self._queue.waiting()):
+            submission = entry.submission
+            deadline = submission.deadline
+            if deadline is not None and now > deadline + _EPS:
+                self._queue.take(submission.submission_id)
+                drop(submission, "deadline:drop")
+        # Backing-off submissions whose budget ran out mid-retry.
+        if self._retries:
+            overdue = [
+                e
+                for e in self._retries
+                if e[3].deadline is not None and now > e[3].deadline + _EPS
+            ]
+            if overdue:
+                self._retries = [
+                    e for e in self._retries if e not in overdue
+                ]
+                heapq.heapify(self._retries)
+                for __, __sid, __attempt, submission in overdue:
+                    drop(submission, "deadline:drop")
+        # Admitted submissions past their budget: kill or degrade.
+        by_sid: dict[int, list[Task]] = {}
+        for task_id, task in self._inflight.items():
+            by_sid.setdefault(
+                self._by_submission[task_id].submission_id, []
+            ).append(task)
+        running_ids = {r.task.task_id for r in state.running}
+        for sid in sorted(by_sid):
+            submission = self._by_submission[by_sid[sid][0].task_id]
+            deadline = submission.deadline
+            if deadline is None or now <= deadline + _EPS:
+                continue
+            unfinished = sorted(
+                by_sid[sid], key=lambda t: (t.seq_time, t.task_id)
+            )
+            running = [t for t in unfinished if t.task_id in running_ids]
+            waiting = [t for t in unfinished if t.task_id not in running_ids]
+            grace_over = now > deadline + self.deadline_grace + _EPS
+            if self.deadline_policy == "kill" or not running or grace_over:
+                to_cancel = waiting + running
+                self.deadline_cancelled_at.setdefault(sid, now)
+                label = "deadline:kill"
+            else:
+                to_cancel = waiting
+                if to_cancel:
+                    self.degraded_at.setdefault(sid, now)
+                label = "deadline:shed"
+            if not to_cancel:
+                continue
+            self._cancel_instant(submission, label, now, len(to_cancel))
+            for task in to_cancel:
+                self.cancelled_tasks.add(task.task_id)
+                self._allowed.discard(task.task_id)
+                del self._inflight[task.task_id]
+                actions.append(Cancel(task, "deadline"))
+        return actions
+
     def next_wakeup(self, now: float) -> float | None:
-        """Earliest pending retry, so the engine wakes the gate for it."""
-        if not self._retries:
-            return None
-        return self._retries[0][0]
+        """Earliest retry or deadline instant, so the engine wakes us."""
+        times: list[float] = []
+        if self._retries:
+            times.append(self._retries[0][0])
+        if self.deadline_policy != "off":
+            deadlines: list[float] = []
+            for entry in self._queue.waiting():
+                if entry.submission.deadline is not None:
+                    deadlines.append(entry.submission.deadline)
+            for __, __sid, __attempt, submission in self._retries:
+                if submission.deadline is not None:
+                    deadlines.append(submission.deadline)
+            seen: set[int] = set()
+            for task_id in self._inflight:
+                submission = self._by_submission[task_id]
+                sid = submission.submission_id
+                if sid in seen or submission.deadline is None:
+                    continue
+                seen.add(sid)
+                deadlines.append(submission.deadline)
+                if self.deadline_policy == "shed":
+                    deadlines.append(
+                        submission.deadline + self.deadline_grace
+                    )
+            # Nudge past the instant so the `now > deadline` comparison
+            # in the enforcement pass is already true when we wake.
+            times.extend(d + 2 * _EPS for d in deadlines)
+        future = [t for t in times if t > now + _EPS]
+        return min(future) if future else None
 
     def _refresh_inflight(self, state: EngineState) -> None:
         """Drop completed fragments from the in-flight set."""
@@ -379,8 +557,17 @@ class AdmissionGate(SchedulingPolicy):
         actions = self._drain_retries(state)
         actions.extend(self._offer_arrivals(state))
         self._refresh_inflight(state)
+        cancelled_now = len(actions)
+        actions.extend(self._enforce_deadlines(state))
+        banned = {
+            a.task.task_id
+            for a in actions[cancelled_now:]
+            if isinstance(a, Cancel)
+        }
         self._admit(state)
-        actions.extend(self.inner.decide(_GatedView(state, self._allowed)))
+        actions.extend(
+            self.inner.decide(_GatedView(state, self._allowed, banned))
+        )
         return actions
 
 
@@ -398,6 +585,14 @@ class QueryService:
             timeline attached to the metrics; ``None`` skips it.
         retry: shed-retry policy handed to the gate (``None`` = off).
         breaker: admission circuit breaker (``None`` = off).
+        deadline_policy: end-to-end deadline enforcement — ``"off"``
+            (deadlines stay soft SLO tags), ``"kill"`` (cancel every
+            unfinished fragment at the deadline) or ``"shed"`` (shed
+            cheapest not-yet-started fragments at the deadline, kill
+            the rest after ``deadline_grace``).  See
+            :class:`AdmissionGate`.
+        deadline_grace: extra virtual seconds ``"shed"`` grants running
+            fragments past their deadline.
         degradations: scheduled disk-bandwidth degradation windows,
             applied by the fluid engine and observed by the breaker.
         tracer: a :class:`~repro.obs.Tracer` threaded into the gate
@@ -419,6 +614,8 @@ class QueryService:
         timeline_bucket: float | None = None,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        deadline_policy: str = "off",
+        deadline_grace: float = 0.0,
         degradations: "Sequence[DiskDegradation] | None" = None,
         tracer=None,
         metrics=None,
@@ -431,9 +628,50 @@ class QueryService:
         self.timeline_bucket = timeline_bucket
         self.retry = retry
         self.breaker = breaker
+        self.deadline_policy = deadline_policy
+        self.deadline_grace = deadline_grace
         self.degradations = tuple(degradations or ())
         self.tracer = tracer or None
         self.metrics = metrics
+        self._submitted: list[ServiceSubmission] = []
+
+    def submit(
+        self,
+        name: str,
+        tasks: Sequence[Task],
+        *,
+        tenant: str = "default",
+        arrival_time: float = 0.0,
+        deadline: float | None = None,
+        relative_deadline: float | None = None,
+    ) -> ServiceSubmission:
+        """Queue one submission for the next :meth:`run_submitted`.
+
+        The deadline budget enters here: ``deadline`` is an absolute
+        virtual time, ``relative_deadline`` is seconds after arrival;
+        give at most one.  With ``deadline_policy="off"`` the deadline
+        is a soft SLO tag; otherwise the gate enforces it end to end.
+        """
+        if deadline is not None and relative_deadline is not None:
+            raise AdmissionError(
+                -1, "give deadline or relative_deadline, not both"
+            )
+        if relative_deadline is not None:
+            deadline = arrival_time + relative_deadline
+        submission = ServiceSubmission(
+            name=name,
+            tenant=tenant,
+            tasks=tuple(tasks),
+            arrival_time=arrival_time,
+            deadline=deadline,
+        )
+        self._submitted.append(submission)
+        return submission
+
+    def run_submitted(self) -> ServiceResult:
+        """Serve everything queued by :meth:`submit`, then clear it."""
+        submissions, self._submitted = self._submitted, []
+        return self.run(submissions)
 
     def run(
         self, submissions: Sequence[ServiceSubmission]
@@ -449,6 +687,8 @@ class QueryService:
             max_inflight_fragments=self.max_inflight_fragments,
             retry=self.retry,
             breaker=self.breaker,
+            deadline_policy=self.deadline_policy,
+            deadline_grace=self.deadline_grace,
             tracer=self.tracer,
         )
         pooled = [task for s in submissions for task in s.tasks]
@@ -492,6 +732,38 @@ class QueryService:
                     )
                 )
                 continue
+            if sid in gate.deadline_cancelled_at or sid in gate.degraded_at:
+                ends = [
+                    finished.get(t.task_id)
+                    for t in submission.tasks
+                    if t.task_id not in gate.cancelled_tasks
+                ]
+                if (
+                    sid in gate.deadline_cancelled_at
+                    or not ends
+                    or any(e is None for e in ends)
+                ):
+                    outcomes.append(
+                        SubmissionOutcome(
+                            submission=submission,
+                            status="deadline",
+                            admitted_at=gate.admitted_at.get(sid),
+                            cancelled_at=gate.deadline_cancelled_at.get(
+                                sid, gate.degraded_at.get(sid)
+                            ),
+                        )
+                    )
+                else:
+                    outcomes.append(
+                        SubmissionOutcome(
+                            submission=submission,
+                            status="degraded",
+                            admitted_at=gate.admitted_at[sid],
+                            finished_at=max(ends),
+                            cancelled_at=gate.degraded_at[sid],
+                        )
+                    )
+                continue
             ends = [finished.get(t.task_id) for t in submission.tasks]
             if any(e is None for e in ends):
                 raise AdmissionError(
@@ -523,9 +795,15 @@ class QueryService:
             tm.retries += gate.retry_counts.get(submission.submission_id, 0)
             if outcome.status == "rejected":
                 tm.rejected += 1
+            elif outcome.status == "deadline":
+                tm.deadline_cancelled += 1
+                if outcome.admitted_at is not None:
+                    tm.admitted += 1
             else:
                 tm.admitted += 1
                 tm.completed += 1
+                if outcome.status == "degraded":
+                    tm.degraded += 1
                 tm.response_times.append(outcome.response_time)
             if submission.deadline is not None:
                 tm.slo_tagged += 1
@@ -568,6 +846,8 @@ class QueryService:
         rejected = registry.counter("service.rejected")
         completed = registry.counter("service.completed")
         retries = registry.counter("service.retries")
+        deadline_cancels = registry.counter("service.deadline_cancels")
+        degraded = registry.counter("service.degraded")
         response = registry.histogram("service.response_time")
         queue_wait = registry.histogram("service.queue_wait")
         for outcome in outcomes:
@@ -577,9 +857,15 @@ class QueryService:
             )
             if outcome.status == "rejected":
                 rejected.inc()
+            elif outcome.status == "deadline":
+                deadline_cancels.inc()
+                if outcome.admitted_at is not None:
+                    admitted.inc()
             else:
                 admitted.inc()
                 completed.inc()
+                if outcome.status == "degraded":
+                    degraded.inc()
                 response.observe(outcome.response_time)
                 queue_wait.observe(outcome.queueing_delay)
         if gate.breaker is not None:

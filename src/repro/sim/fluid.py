@@ -36,7 +36,14 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..config import MachineConfig
 from ..core.balance import effective_bandwidth_mix
-from ..core.schedulers import Action, Adjust, SchedulingPolicy, Shed, Start
+from ..core.schedulers import (
+    Action,
+    Adjust,
+    Cancel,
+    SchedulingPolicy,
+    Shed,
+    Start,
+)
 from ..core.task import IOPattern, Task
 from ..errors import SimulationError
 
@@ -99,6 +106,23 @@ class ShedRecord:
     shed_at: float
 
 
+@dataclass(frozen=True, slots=True)
+class CancelRecord:
+    """Trace of one task cooperatively cancelled mid-run.
+
+    ``started_at`` is ``None`` when the task was cancelled before it
+    ever started (pending or not yet arrived); ``pages_done`` counts
+    partial progress in the engine's work unit (pages for the micro
+    engine, 0 for the fluid engine).
+    """
+
+    task: Task
+    cancelled_at: float
+    started_at: float | None = None
+    pages_done: int = 0
+    reason: str = "deadline"
+
+
 @dataclass
 class ScheduleResult:
     """Outcome of one simulated run."""
@@ -114,6 +138,9 @@ class ScheduleResult:
     shed_records: list[ShedRecord] = field(default_factory=list)
     #: Fault-injection trace of the run (``None`` = healthy run).
     fault_log: "FaultLog | None" = None
+    #: Tasks cooperatively cancelled (deadline kills and their
+    #: transitive dependents); never counted in ``records``.
+    cancel_records: list[CancelRecord] = field(default_factory=list)
 
     @property
     def cpu_utilization(self) -> float:
@@ -297,6 +324,7 @@ class FluidSimulator:
             machine=self.machine,
             peak_memory=peak_memory,
             shed_records=state.shed_records,
+            cancel_records=state.cancel_records,
         )
 
     # -- internals ----------------------------------------------------------------
@@ -338,6 +366,15 @@ class FluidSimulator:
                         t=state.clock,
                         track=f"task:{action.task.name}",
                         cat="admission",
+                    )
+            elif isinstance(action, Cancel):
+                state.cancel(action.task, action.reason)
+                if tracer is not None:
+                    tracer.instant(
+                        f"cancel ({action.reason})",
+                        t=state.clock,
+                        track=f"task:{action.task.name}",
+                        cat="cancel",
                     )
             else:  # pragma: no cover - exhaustiveness guard
                 raise SimulationError(f"unknown action: {action!r}")
@@ -405,6 +442,7 @@ class _SimState:
         "running_map",
         "records",
         "shed_records",
+        "cancel_records",
         "completed_ids",
         "memory_in_use",
         "_arrivals",
@@ -421,6 +459,7 @@ class _SimState:
         self.running_map: dict[int, _Running] = {}
         self.records: list[TaskRecord] = []
         self.shed_records: list[ShedRecord] = []
+        self.cancel_records: list[CancelRecord] = []
         self.completed_ids: set[int] = set()
         #: Sum of running tasks' working sets, maintained on membership
         #: change (same floats, same order as a per-event resum).
@@ -498,6 +537,32 @@ class _SimState:
         except ValueError:
             raise SimulationError(f"{task!r} is not pending") from None
         self.shed_records.append(ShedRecord(task=task, shed_at=self.clock))
+        self._ready_view = None
+
+    def cancel(self, task: Task, reason: str = "deadline") -> None:
+        """Cooperatively cancel ``task``, running or pending."""
+        run = self.running_map.pop(task.task_id, None)
+        if run is not None:
+            self.cancel_records.append(
+                CancelRecord(
+                    task=task,
+                    cancelled_at=self.clock,
+                    started_at=run.started_at,
+                    reason=reason,
+                )
+            )
+            self._running_view = None
+            self._resum_memory()
+            return
+        try:
+            self._pending.remove(task)
+        except ValueError:
+            raise SimulationError(
+                f"{task!r} is neither running nor pending"
+            ) from None
+        self.cancel_records.append(
+            CancelRecord(task=task, cancelled_at=self.clock, reason=reason)
+        )
         self._ready_view = None
 
     def settle(self) -> None:

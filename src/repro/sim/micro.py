@@ -32,19 +32,33 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 
 from ..config import MachineConfig
-from ..core.schedulers import Adjust, SchedulingPolicy, Start
+from ..core.schedulers import Adjust, Cancel, SchedulingPolicy, Start
 from ..core.task import IOPattern, Task
-from ..errors import ProtocolTimeoutError, SimulationError
+from ..errors import (
+    MasterCrashError,
+    ProtocolTimeoutError,
+    RecoveryError,
+    SimulationError,
+)
 from ..faults.injector import FaultInjector
 from ..faults.schedule import (
     DiskDegradation,
     DiskStall,
     FaultSchedule,
+    MasterCrash,
     MessageFault,
+    QueryDeadline,
     SlaveCrash,
 )
+from ..recovery.checkpoint import (
+    Checkpoint,
+    DiskSnapshot,
+    RecordSnapshot,
+    SlaveSnapshot,
+    TaskSnapshot,
+)
 from ..storage.disk import Disk
-from .fluid import ScheduleResult, TaskRecord
+from .fluid import CancelRecord, ScheduleResult, TaskRecord
 
 _EPS = 1e-12
 _MAX_EVENTS = 5_000_000
@@ -319,6 +333,9 @@ class MicroSimulator:
             adjustment round before aborting it (recorded as a
             :class:`~repro.errors.ProtocolTimeoutError` event in the
             fault log, never raised — the run continues).
+        recovery: a :class:`~repro.recovery.RecoveryManager` capturing
+            checkpoints at adjustment-round boundaries; ``None`` (the
+            default) captures nothing and adds zero per-event work.
         tracer: a :class:`~repro.obs.Tracer` recording task spans,
             adjustment rounds and fault instants at virtual time;
             ``None`` (or the falsy NullTracer) records nothing.  The
@@ -335,6 +352,7 @@ class MicroSimulator:
         faults: FaultSchedule | None = None,
         fault_seed: int = 0,
         adjust_timeout: float = 0.5,
+        recovery=None,
         tracer=None,
     ) -> None:
         flattened = replace(
@@ -353,10 +371,27 @@ class MicroSimulator:
         self.faults = faults
         self.fault_seed = fault_seed
         self.adjust_timeout = adjust_timeout
+        self.recovery = recovery
         self.tracer = tracer or None
 
-    def run(self, specs: list[ScanSpec], policy: SchedulingPolicy) -> ScheduleResult:
-        """Simulate the scan specs under ``policy`` until all complete."""
+    def run(
+        self,
+        specs: list[ScanSpec],
+        policy: SchedulingPolicy,
+        *,
+        resume_from: Checkpoint | None = None,
+    ) -> ScheduleResult:
+        """Simulate the scan specs under ``policy`` until all complete.
+
+        ``resume_from`` restarts the run from a checkpoint taken by a
+        :class:`~repro.recovery.RecoveryManager`: already-completed
+        pages stay done, and only each previously-busy slave's single
+        in-flight page is re-read.
+
+        Raises:
+            MasterCrashError: a ``master-crash`` fault fired; resume
+                via :func:`repro.recovery.run_with_recovery`.
+        """
         policy.reset()
         injector = (
             FaultInjector(self.faults, seed=self.fault_seed)
@@ -371,6 +406,8 @@ class MicroSimulator:
             consult_interval=self.consult_interval,
             injector=injector,
             adjust_timeout=self.adjust_timeout,
+            recovery=self.recovery,
+            resume_from=resume_from,
             tracer=self.tracer,
         )
         return engine.run()
@@ -387,11 +424,14 @@ class _MicroEngine:
         consult_interval: float | None = None,
         injector: FaultInjector | None = None,
         adjust_timeout: float = 0.5,
+        recovery=None,
+        resume_from: Checkpoint | None = None,
         tracer=None,
     ) -> None:
         import random
 
         self.machine = machine
+        self.seed = seed
         self.policy = policy
         #: Span tracer (None = disabled).  Emission sites are all off
         #: the inner per-page loop and guard with one None check, so a
@@ -419,6 +459,7 @@ class _MicroEngine:
         self.running: dict[int, _TaskRun] = {}
         self.completed_ids: set[int] = set()
         self.records: list[TaskRecord] = []
+        self.cancel_records: list[CancelRecord] = []
         self.adjustments = 0
         self.peak_memory = 0.0
         self._block_cursor = 0
@@ -434,10 +475,9 @@ class _MicroEngine:
         #: observation moves _measured_mult.
         self._effective_cache: MachineConfig | None = None
         self._stall_armed = [False] * machine.disks
-        if injector is not None:
-            injector.schedule.validate_against(machine.disks)
-            for fault in injector.schedule:
-                self._arm_fault(fault)
+        #: RecoveryManager (or None): one attribute check on the cold
+        #: checkpoint sites, nothing anywhere near the per-page loop.
+        self.recovery = recovery
         for i, spec in enumerate(specs):
             task = spec.to_task(machine)
             if spec.arrival_time <= 0:
@@ -446,6 +486,19 @@ class _MicroEngine:
                 heapq.heappush(
                     self._arrivals, (spec.arrival_time, i, task, spec)
                 )
+        # Restore before arming faults: a resumed clock filters the
+        # spent ones.  For fresh runs this ordering is event-identical
+        # to arming first — the spec loop pushes no heap events.
+        if resume_from is not None:
+            self._restore(resume_from)
+        if injector is not None:
+            injector.schedule.validate_against(machine.disks)
+            for fault in injector.schedule:
+                if resume_from is not None and self._fault_spent(fault):
+                    continue
+                self._arm_fault(fault)
+            if resume_from is not None:
+                injector.skip_messages_before(self.clock)
 
     # -- EngineState protocol for the policy ------------------------------------
 
@@ -470,6 +523,9 @@ class _MicroEngine:
         if self._finished():
             return
         self._consult_policy()
+        # A tick with no round in flight is a round boundary too; with
+        # recovery off this is the usual single None check.
+        self._maybe_checkpoint()
         assert self._consult_interval is not None
         self._schedule(self._consult_interval, self._master_tick)
 
@@ -855,12 +911,34 @@ class _MicroEngine:
             machine=self.machine,
             peak_memory=self.peak_memory,
             fault_log=self.injector.log if self.injector is not None else None,
+            cancel_records=self.cancel_records,
         )
 
     # -- fault injection ---------------------------------------------------------
 
+    def _fault_spent(self, fault: object) -> bool:
+        """Did a resumed run's checkpoint already consume this fault?
+
+        Windows (degradation, stall) are spent only once their *end*
+        has passed — a window straddling the checkpoint re-arms and
+        covers its remainder.  Instant faults are spent once their
+        instant has passed; deadlines are never skipped (firing on a
+        long-gone task is a logged no-op).
+        """
+        clock = self.clock
+        if isinstance(fault, (DiskDegradation, DiskStall)):
+            return fault.end <= clock + _EPS
+        if isinstance(fault, (SlaveCrash, MasterCrash)):
+            return fault.at <= clock + _EPS
+        return False
+
     def _arm_fault(self, fault: object) -> None:
-        """Register one scheduled fault's timed transitions (at t=0)."""
+        """Register one scheduled fault's timed transitions.
+
+        Delays are relative to the current clock (0 on a fresh run, the
+        checkpoint time on a resumed one) and clamp at zero so a window
+        already open at resume time begins immediately.
+        """
         injector = self.injector
         assert injector is not None
         if isinstance(fault, DiskDegradation):
@@ -887,8 +965,8 @@ class _MicroEngine:
                         cat="fault",
                     )
 
-            self._schedule(fault.start, degrade_begin)
-            self._schedule(fault.end, degrade_end)
+            self._schedule(max(0.0, fault.start - self.clock), degrade_begin)
+            self._schedule(max(0.0, fault.end - self.clock), degrade_end)
         elif isinstance(fault, DiskStall):
             def stall() -> None:
                 injector.begin_stall(fault, self.clock)
@@ -902,13 +980,55 @@ class _MicroEngine:
                         args={"duration": fault.duration},
                     )
 
-            self._schedule(fault.at, stall)
+            self._schedule(max(0.0, fault.at - self.clock), stall)
         elif isinstance(fault, SlaveCrash):
-            self._schedule(fault.at, lambda: self._inject_crash(fault))
+            self._schedule(
+                max(0.0, fault.at - self.clock),
+                lambda: self._inject_crash(fault),
+            )
+        elif isinstance(fault, MasterCrash):
+            self._schedule(
+                max(0.0, fault.at - self.clock),
+                lambda: self._master_crash(fault),
+            )
+        elif isinstance(fault, QueryDeadline):
+            self._schedule(
+                max(0.0, fault.at - self.clock),
+                lambda: self._deadline_fire(fault),
+            )
         elif isinstance(fault, MessageFault):
             pass  # consumed lazily by _send_protocol_leg
         else:  # pragma: no cover - schedule validation catches this
             raise SimulationError(f"unknown fault {fault!r}")
+
+    def _master_crash(self, fault: MasterCrash) -> None:
+        """The whole engine dies: record it and unwind out of run().
+
+        The hot locals are synced before every callback, so the engine
+        object is consistent when this raises; the caller (typically
+        :func:`repro.recovery.run_with_recovery`) restarts from the
+        newest checkpoint.
+        """
+        injector = self.injector
+        assert injector is not None
+        recovery = self.recovery
+        checkpoint_at = (
+            recovery.last_checkpoint_at if recovery is not None else None
+        )
+        log = injector.log
+        log.master_crashes += 1
+        error = MasterCrashError(self.clock, checkpoint_at)
+        log.record(self.clock, "mcrash", str(error))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "master crash",
+                t=self.clock,
+                track="recovery",
+                cat="fault",
+                args={"checkpoint_at": checkpoint_at},
+            )
+        raise error
 
     def _observe_disk(self, disk_id: int, multiplier: float) -> None:
         """Fold one served request's health ratio into the disk estimate."""
@@ -1037,6 +1157,370 @@ class _MicroEngine:
         self._slave_next(run, replacement)
         self._maybe_complete(run)
 
+    # -- cooperative cancellation (deadline budgets) ------------------------------
+
+    def _deadline_fire(self, fault: QueryDeadline) -> None:
+        """A query's deadline passed: cancel it wherever it is.
+
+        Completed queries are left alone (a deadline firing after the
+        finish line is a logged no-op); running queries cancel
+        cooperatively at this event boundary; queued or not-yet-arrived
+        queries are dropped before doing any work.
+        """
+        injector = self.injector
+        assert injector is not None
+        name = fault.task
+        for record in self.records:
+            if record.task.name == name:
+                injector.log.record(
+                    self.clock, "no-op", f"deadline: {name!r} already complete"
+                )
+                return
+        for run in self.running.values():
+            if run.task.name == name:
+                self._cancel_run(run, reason="deadline")
+                return
+        for task in self._pending:
+            if task.name == name:
+                self._cancel_pending(task, reason="deadline")
+                self._consult_policy()
+                return
+        for __, __i, task, __spec in self._arrivals:
+            if task.name == name:
+                self._cancel_arrival(task, reason="deadline")
+                return
+        injector.log.record(
+            self.clock, "no-op", f"deadline: no task named {name!r}"
+        )
+
+    def _log_cancel(self, task: Task, reason: str, detail: str) -> None:
+        injector = self.injector
+        if injector is not None:
+            injector.log.deadline_cancels += 1
+            injector.log.record(self.clock, "cancel", detail)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"cancel ({reason})",
+                t=self.clock,
+                track=f"task:{task.name}",
+                cat="cancel",
+                args={"reason": reason},
+            )
+
+    def _cancel_run(self, run: _TaskRun, *, reason: str = "deadline") -> None:
+        """Cooperatively cancel a *running* task, releasing everything.
+
+        Slaves are marked crashed+retired, which the event loop and the
+        dispatchers already treat as "drop on sight": in-flight io
+        completions free their disk, in-flight cpu completions free
+        their processor, queued requests are filtered out before
+        dispatch.  Bumping the adjustment epoch stales any in-flight
+        protocol leg or timeout timer, so a mid-round cancel can never
+        wedge (or double-abort) an adjustment round.
+        """
+        task = run.task
+        run.adjust_epoch += 1
+        run.adjusting = False
+        run.harvest = None
+        for slave in run.slaves.values():
+            slave.crashed = True
+            slave.retired = True
+            slave.paused = False
+            slave.segments = []
+            slave.intervals = []
+        del self.running[task.task_id]
+        self._log_cancel(
+            task,
+            reason,
+            f"{task.name}: cancelled ({reason}) after {run.pages_done} pages",
+        )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.counter(
+                "running_tasks", t=self.clock, value=float(len(self.running))
+            )
+        self.cancel_records.append(
+            CancelRecord(
+                task=task,
+                cancelled_at=self.clock,
+                started_at=run.started_at,
+                pages_done=run.pages_done,
+                reason=reason,
+            )
+        )
+        self._cancel_dependents(task)
+        self._consult_policy()
+
+    def _cancel_pending(self, task: Task, *, reason: str) -> None:
+        self._pending.remove(task)
+        self._log_cancel(
+            task, reason, f"{task.name}: cancelled ({reason}) before start"
+        )
+        self.cancel_records.append(
+            CancelRecord(task=task, cancelled_at=self.clock, reason=reason)
+        )
+        self._cancel_dependents(task)
+
+    def _cancel_arrival(self, task: Task, *, reason: str) -> None:
+        self._arrivals = [e for e in self._arrivals if e[2] is not task]
+        heapq.heapify(self._arrivals)
+        self._log_cancel(
+            task, reason, f"{task.name}: cancelled ({reason}) before arrival"
+        )
+        self.cancel_records.append(
+            CancelRecord(task=task, cancelled_at=self.clock, reason=reason)
+        )
+        self._cancel_dependents(task)
+
+    def _cancel_dependents(self, task: Task) -> None:
+        """Transitively cancel tasks that can now never become ready.
+
+        A cancelled task's id never joins ``completed_ids``, so any
+        dependent would wait forever — the engine would report a stall.
+        Cancelling the whole dependency cone keeps the run live.
+        """
+        for dep in [t for t in self._pending if task.task_id in t.depends_on]:
+            self._cancel_pending(dep, reason="dependency")
+        for dep in [
+            e[2] for e in self._arrivals if task.task_id in e[2].depends_on
+        ]:
+            self._cancel_arrival(dep, reason="dependency")
+
+    # -- checkpoint / resume ------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        """Offer the recovery manager a snapshot at a round boundary.
+
+        Called only on cold paths (task start, adjustment apply, task
+        completion); one None check when recovery is off.  Capture is
+        skipped while any adjustment round is in flight — a round
+        boundary is precisely when no protocol leg is pending.
+        """
+        recovery = self.recovery
+        if recovery is None:
+            return
+        if any(r.adjusting for r in self.running.values()):
+            return
+        recovery.capture(self)
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the engine's schedule state (see :mod:`repro.recovery`).
+
+        Valid at round boundaries: every live slave is either busy on
+        exactly one page (re-read on resume) or retired, and no
+        adjustment protocol leg is in flight.
+        """
+        running = []
+        for run in sorted(self.running.values(), key=lambda r: r.task.task_id):
+            slaves = []
+            for slave in sorted(run.slaves.values(), key=lambda s: s.slave_id):
+                slaves.append(
+                    SlaveSnapshot(
+                        slave_id=slave.slave_id,
+                        cursor=slave.cursor,
+                        segments=tuple(
+                            (seg.lo, seg.hi, seg.stride, seg.residue)
+                            for seg in slave.segments
+                        ),
+                        intervals=tuple(slave.intervals),
+                        retired=slave.retired,
+                        crashed=slave.crashed,
+                        inflight=(
+                            slave.inflight_page
+                            if slave.busy and not slave.crashed
+                            else None
+                        ),
+                    )
+                )
+            running.append(
+                TaskSnapshot(
+                    name=run.task.name,
+                    parallelism=run.parallelism,
+                    started_at=run.started_at,
+                    pages_done=run.pages_done,
+                    next_slave_id=run.next_slave_id,
+                    block_base=run.block_base,
+                    history=tuple(run.history),
+                    order=(
+                        tuple(run.order)
+                        if run.spec.pattern == IOPattern.RANDOM
+                        else None
+                    ),
+                    slaves=tuple(slaves),
+                )
+            )
+        return Checkpoint(
+            taken_at=self.clock,
+            seed=self.seed,
+            rng_state=self._rng.getstate(),
+            block_cursor=self._block_cursor,
+            io_count=self.io_count,
+            cpu_busy_time=self.cpu_busy_time,
+            adjustments=self.adjustments,
+            peak_memory=self.peak_memory,
+            measured_mult=tuple(self._measured_mult),
+            running=tuple(running),
+            completed=tuple(
+                RecordSnapshot(
+                    name=r.task.name,
+                    started_at=r.started_at,
+                    finished_at=r.finished_at,
+                    history=r.parallelism_history,
+                )
+                for r in self.records
+            ),
+            disks=tuple(
+                DiskSnapshot(
+                    streams=tuple(d._streams),
+                    busy_time=d.busy_time,
+                    sequential=d.counters.sequential,
+                    almost_sequential=d.counters.almost_sequential,
+                    random=d.counters.random,
+                )
+                for d in self.disks
+            ),
+        )
+
+    def _restore(self, cp: Checkpoint) -> None:
+        """Rebuild the engine's state from a checkpoint (in __init__).
+
+        Tasks are matched by *name* against this run's specs.  Each
+        slave that was mid-page re-reads its in-flight page through the
+        same singleton-stride mechanism a crash replacement uses, so
+        page conservation holds across the resume.
+        """
+        if len(cp.disks) != len(self.disks) or len(cp.measured_mult) != len(
+            self.disks
+        ):
+            raise RecoveryError(
+                f"checkpoint has {len(cp.disks)} disks, machine has "
+                f"{len(self.disks)}"
+            )
+        self.clock = cp.taken_at
+        self._rng.setstate(cp.rng_state)
+        self._block_cursor = cp.block_cursor
+        self.io_count = cp.io_count
+        self.cpu_busy_time = cp.cpu_busy_time
+        self.adjustments = cp.adjustments
+        self.peak_memory = cp.peak_memory
+        self._measured_mult = list(cp.measured_mult)
+        self._effective_cache = None
+        for disk, snap in zip(self.disks, cp.disks):
+            disk._streams = list(snap.streams)
+            disk._match_cache.clear()
+            disk.busy_time = snap.busy_time
+            disk.counters.sequential = snap.sequential
+            disk.counters.almost_sequential = snap.almost_sequential
+            disk.counters.random = snap.random
+        by_name: dict[str, tuple[Task, ScanSpec]] = {}
+        for task in self._pending:
+            if task.name in by_name:
+                raise RecoveryError(
+                    f"duplicate task name {task.name!r}: checkpoints match "
+                    "tasks by name, so names must be unique"
+                )
+            by_name[task.name] = (task, task.payload)
+        for __, __i, task, spec in self._arrivals:
+            if task.name in by_name:
+                raise RecoveryError(
+                    f"duplicate task name {task.name!r}: checkpoints match "
+                    "tasks by name, so names must be unique"
+                )
+            by_name[task.name] = (task, spec)
+        consumed: set[str] = set()
+        for rec in cp.completed:
+            if rec.name not in by_name:
+                raise RecoveryError(
+                    f"checkpoint records completed task {rec.name!r} "
+                    "missing from this workload"
+                )
+            task, __spec = by_name[rec.name]
+            consumed.add(rec.name)
+            self.completed_ids.add(task.task_id)
+            self.records.append(
+                TaskRecord(
+                    task=task,
+                    started_at=rec.started_at,
+                    finished_at=rec.finished_at,
+                    parallelism_history=rec.history,
+                )
+            )
+        injector = self.injector
+        for snap in cp.running:
+            if snap.name not in by_name:
+                raise RecoveryError(
+                    f"checkpoint records running task {snap.name!r} "
+                    "missing from this workload"
+                )
+            task, spec = by_name[snap.name]
+            consumed.add(snap.name)
+            run = _TaskRun(
+                task=task,
+                spec=spec,
+                parallelism=snap.parallelism,
+                started_at=snap.started_at,
+                block_base=snap.block_base,
+                page_mode=spec.partitioning == "page",
+                cpu_per_page=spec.cpu_per_page,
+                n_pages=spec.n_pages,
+            )
+            run.pages_done = snap.pages_done
+            run.next_slave_id = snap.next_slave_id
+            run.history = [(t, x) for t, x in snap.history]
+            run.order = (
+                list(snap.order)
+                if snap.order is not None
+                else list(range(spec.n_pages))
+            )
+            for s in snap.slaves:
+                slave = _Slave(slave_id=s.slave_id)
+                slave.cursor = s.cursor
+                slave.retired = s.retired
+                slave.crashed = s.crashed
+                slave.segments = [
+                    _Segment(lo, hi, stride, residue)
+                    for lo, hi, stride, residue in s.segments
+                ]
+                slave.intervals = list(s.intervals)
+                if s.inflight is not None:
+                    # The page was mid-read when the checkpoint was cut:
+                    # re-read it first, exactly like a crash replacement
+                    # (after the re-read the cursor lands back on the
+                    # stored position, so the stride resumes in place).
+                    if injector is not None:
+                        injector.log.pages_reread += 1
+                    if run.page_mode:
+                        slave.segments.insert(
+                            0,
+                            _Segment(
+                                lo=s.inflight,
+                                hi=s.inflight,
+                                stride=1,
+                                residue=0,
+                            ),
+                        )
+                        slave.cursor = 0
+                    else:
+                        slave.intervals.insert(0, (s.inflight, s.inflight))
+                run.slaves[s.slave_id] = slave
+            self.running[task.task_id] = run
+        self._pending = [t for t in self._pending if t.name not in consumed]
+        kept = [e for e in self._arrivals if e[2].name not in consumed]
+        due = sorted(e for e in kept if e[0] <= self.clock + _EPS)
+        for __, __i, task, __spec in due:
+            self._pending.append(task)
+        self._arrivals = [e for e in kept if e[0] > self.clock + _EPS]
+        heapq.heapify(self._arrivals)
+        # Kick every idle slave: the previously-busy ones claim their
+        # re-read singleton and issue its io at the restored clock.
+        for run in sorted(self.running.values(), key=lambda r: r.task.task_id):
+            for slave in sorted(run.slaves.values(), key=lambda s: s.slave_id):
+                if not slave.retired and not slave.busy:
+                    self._slave_next(run, slave)
+        if self.recovery is not None:
+            self.recovery.note_restore(self)
+
     # -- policy interaction -----------------------------------------------------------
 
     def _consult_policy(self) -> None:
@@ -1046,6 +1530,12 @@ class _MicroEngine:
                 self._start_task(action.task, action.parallelism)
             elif isinstance(action, Adjust):
                 self._begin_adjustment(action.task, action.parallelism)
+            elif isinstance(action, Cancel):
+                run = self.running.get(action.task.task_id)
+                if run is not None:
+                    self._cancel_run(run, reason=action.reason)
+                elif action.task in self._pending:
+                    self._cancel_pending(action.task, reason=action.reason)
             else:  # pragma: no cover
                 raise SimulationError(f"unknown action {action!r}")
 
@@ -1125,6 +1615,7 @@ class _MicroEngine:
                 run.slaves[i] = slave
                 self._slave_next(run, slave)
             run.next_slave_id = n
+        self._maybe_checkpoint()
 
     @staticmethod
     def _split_range(lo: int, hi: int, n: int) -> list[tuple[int, int] | None]:
@@ -1203,6 +1694,7 @@ class _MicroEngine:
                     value=float(len(self.running)),
                 )
             self._consult_policy()
+            self._maybe_checkpoint()
 
     # -- disks --------------------------------------------------------------------------------
 
@@ -1489,6 +1981,7 @@ class _MicroEngine:
                 args={"n_new": n_new, "maxpage": maxpage},
             )
         self._maybe_complete(run)
+        self._maybe_checkpoint()
 
     def _collect_intervals(self, run: _TaskRun, n_new: int, epoch: int) -> None:
         """Figure 6: gather remaining intervals, repartition, resume."""
@@ -1582,6 +2075,7 @@ class _MicroEngine:
                 args={"n_new": n_new, "keys": total},
             )
         self._maybe_complete(run)
+        self._maybe_checkpoint()
 
 
 class _PolicyState:

@@ -1,0 +1,46 @@
+"""Tests for scoped id sources (``repro.core.ids``)."""
+
+from repro.core import make_task
+from repro.core.ids import IdSource, id_scope
+from repro.service.queue import ServiceSubmission
+
+
+class TestIdSource:
+    def test_counters_are_independent_per_name(self):
+        a, b = IdSource("alpha"), IdSource("beta")
+        with id_scope():
+            assert [a(), a(), b()] == [0, 1, 0]
+
+    def test_scope_resets_and_restores(self):
+        source = IdSource("gamma")
+        with id_scope():
+            before = source()
+            with id_scope():
+                assert source() == 0
+                assert source() == 1
+            # Leaving the inner scope resumes the outer counter.
+            assert source() == before + 1
+
+    def test_task_ids_restart_inside_a_scope(self):
+        with id_scope():
+            first = make_task("a", io_rate=1.0, seq_time=1.0)
+            assert first.task_id == 0
+        with id_scope():
+            again = make_task("b", io_rate=1.0, seq_time=1.0)
+            assert again.task_id == 0
+
+    def test_submission_ids_restart_inside_a_scope(self):
+        def build():
+            with id_scope():
+                return ServiceSubmission(
+                    name="s",
+                    tenant="t",
+                    tasks=(make_task("s-f0", io_rate=1.0, seq_time=1.0),),
+                )
+
+        assert build().submission_id == build().submission_id == 0
+
+    def test_global_counters_still_monotonic_outside_scopes(self):
+        first = make_task("x", io_rate=1.0, seq_time=1.0)
+        second = make_task("y", io_rate=1.0, seq_time=1.0)
+        assert second.task_id == first.task_id + 1

@@ -81,3 +81,47 @@ def test_pages_conserved_under_random_faults(schedule_seed):
     # A dropped leg hangs its round; only the timeout can clear it.
     if log.messages_dropped:
         assert log.adjust_timeouts >= 0  # run finished despite the drop
+
+
+@pytest.mark.parametrize("schedule_seed", SCHEDULE_SEEDS)
+def test_conservation_with_deadline_cancellations(schedule_seed):
+    """Random faults layered with deadline cancels still conserve pages.
+
+    A cancelled task must be accounted (a ``CancelRecord``), never
+    silently lost, and completed + cancelled must cover the workload —
+    with no wedged adjustment round left behind.
+    """
+    from repro.faults import with_deadlines
+
+    machine = paper_machine()
+    names = ("io0", "cpu0", "rnd0")
+    schedule = random_schedule(
+        schedule_seed,
+        horizon=HORIZON,
+        n_disks=machine.disks,
+        task_names=names,
+    )
+    schedule = with_deadlines(
+        schedule, schedule_seed, horizon=HORIZON, task_names=names
+    )
+    sim = MicroSimulator(
+        machine,
+        seed=schedule_seed,
+        consult_interval=1.0,
+        faults=schedule,
+        fault_seed=schedule_seed,
+        adjust_timeout=0.5,
+    )
+    result = sim.run(
+        _specs(machine),
+        InterWithAdjPolicy(integral=True, degradation_aware=True),
+    )
+
+    completed = {r.task.name for r in result.records}
+    cancelled = {c.task.name for c in result.cancel_records}
+    assert not (completed & cancelled), "a task cannot both finish and cancel"
+    assert completed | cancelled == set(names), "every task accounted"
+    log = result.fault_log
+    assert log is not None
+    assert log.deadline_cancels == len(result.cancel_records)
+    assert log.adjust_timeouts == log.adjust_aborts, "no wedged rounds"

@@ -88,3 +88,29 @@ class TestSmokeLines:
         assert "completed" in lines[2]
         assert "(faulted)" in lines[3]
         assert not any(line.startswith("smoke failed") for line in lines)
+
+
+class TestJitteredRepeatability:
+    """Satellite regression: full default retry jitter, scoped ids.
+
+    The harness used to pin ``jitter=0`` because backoff jitter hashes
+    ``(seed, submission_id, attempt)`` and submission ids were
+    process-global — a second in-process run drew different ids and
+    different jitter.  Ids are stream-scoped now, so two jittered runs
+    must be byte-identical with the workaround gone.
+    """
+
+    def test_jitter_path_is_exercised(self):
+        report = run_trace(0)
+        # The scenario actually retries: the jitter hash is in play.
+        assert report.metrics.as_dict()["counters"]["service.retries"] > 0
+
+    def test_two_jittered_runs_are_byte_identical(self):
+        first, second = run_trace(0), run_trace(0)
+        assert first.chrome_json() == second.chrome_json()
+        da, db = first.metrics.as_dict(), second.metrics.as_dict()
+        # phase1_seconds measures real wall time; everything else is
+        # simulated and must repeat exactly.
+        da["histograms"].pop("optimizer.phase1_seconds")
+        db["histograms"].pop("optimizer.phase1_seconds")
+        assert da == db

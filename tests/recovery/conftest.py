@@ -1,0 +1,49 @@
+"""Shared fixtures for the recovery tests."""
+
+import pytest
+
+from repro.config import paper_machine
+from repro.core.schedulers import InterWithAdjPolicy
+from repro.core.task import IOPattern
+from repro.sim.micro import spec_for_io_rate
+
+
+@pytest.fixture
+def machine():
+    return paper_machine()
+
+
+@pytest.fixture
+def specs(machine):
+    """The standard small three-scan workload."""
+    return [
+        spec_for_io_rate(
+            "io0",
+            machine,
+            io_rate=55.0,
+            n_pages=300,
+            pattern=IOPattern.SEQUENTIAL,
+            partitioning="page",
+        ),
+        spec_for_io_rate(
+            "cpu0",
+            machine,
+            io_rate=8.0,
+            n_pages=80,
+            pattern=IOPattern.SEQUENTIAL,
+            partitioning="page",
+        ),
+        spec_for_io_rate(
+            "rnd0",
+            machine,
+            io_rate=20.0,
+            n_pages=60,
+            pattern=IOPattern.RANDOM,
+            partitioning="range",
+        ),
+    ]
+
+
+@pytest.fixture
+def policy():
+    return InterWithAdjPolicy(integral=True)

@@ -1,0 +1,104 @@
+"""Tests for deadline budgets and engine-level cooperative cancellation."""
+
+import pytest
+
+from repro.errors import ConfigError, DeadlineExceededError
+from repro.faults.schedule import FaultSchedule, QueryDeadline, with_deadlines
+from repro.recovery import DeadlineBudget
+from repro.sim.micro import MicroSimulator
+
+
+class TestDeadlineBudget:
+    def test_remaining_and_expiry(self):
+        budget = DeadlineBudget(name="q", deadline=10.0, submitted_at=2.0)
+        assert budget.remaining(4.0) == pytest.approx(6.0)
+        assert not budget.expired(10.0)
+        assert budget.expired(10.1)
+        budget.require(9.0)
+        with pytest.raises(DeadlineExceededError) as err:
+            budget.require(11.0)
+        assert err.value.name == "q"
+        assert err.value.deadline == 10.0
+        assert err.value.now == 11.0
+
+    def test_degradation_threshold(self):
+        budget = DeadlineBudget(name="q", deadline=10.0, degrade_below=3.0)
+        assert not budget.degraded(5.0)
+        assert budget.degraded(8.0)
+        assert DeadlineBudget(name="q", deadline=10.0).degraded(9.99) is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeadlineBudget(name="q", deadline=1.0, submitted_at=2.0)
+        with pytest.raises(ConfigError):
+            DeadlineBudget(name="q", deadline=1.0, degrade_below=-1.0)
+
+
+class TestEngineCancellation:
+    def _run(self, machine, specs, policy, faults, *, seed=0):
+        return MicroSimulator(
+            machine,
+            seed=seed,
+            consult_interval=0.05,
+            faults=faults,
+            fault_seed=seed,
+        ).run(specs, policy)
+
+    def test_running_task_cancelled_cleanly(self, machine, specs, policy):
+        faults = FaultSchedule((QueryDeadline(at=0.3, task="io0"),))
+        result = self._run(machine, specs, policy, faults)
+        # The other two tasks complete; the cancelled one is accounted.
+        assert len(result.records) == len(specs) - 1
+        assert [c.task.name for c in result.cancel_records] == ["io0"]
+        record = result.cancel_records[0]
+        assert record.reason == "deadline"
+        assert record.cancelled_at == pytest.approx(0.3)
+        assert record.started_at is not None
+        assert 0 < record.pages_done < 300
+        assert result.fault_log is not None
+        assert result.fault_log.deadline_cancels == 1
+
+    def test_cancellation_never_wedges_a_round(self, machine, specs, policy):
+        faults = FaultSchedule((QueryDeadline(at=0.3, task="io0"),))
+        result = self._run(machine, specs, policy, faults)
+        log = result.fault_log
+        assert log.adjust_timeouts == log.adjust_aborts
+
+    def test_deadline_after_completion_is_a_noop(
+        self, machine, specs, policy
+    ):
+        faults = FaultSchedule((QueryDeadline(at=1e9, task="io0"),))
+        result = self._run(machine, specs, policy, faults)
+        assert len(result.records) == len(specs)
+        assert result.cancel_records == []
+        assert result.fault_log.deadline_cancels == 0
+
+    def test_cancelled_run_matches_healthy_prefix(
+        self, machine, specs, policy
+    ):
+        """Cancellation is cooperative: the survivors' stories replay."""
+        faults = FaultSchedule((QueryDeadline(at=0.3, task="io0"),))
+        first = self._run(machine, specs, policy, faults)
+        second = self._run(machine, specs, policy, faults)
+        assert [
+            (r.task.name, r.started_at, r.finished_at) for r in first.records
+        ] == [
+            (r.task.name, r.started_at, r.finished_at)
+            for r in second.records
+        ]
+        assert first.elapsed == second.elapsed
+
+
+class TestWithDeadlines:
+    def test_layering_is_deterministic_and_preserves_faults(self):
+        base = FaultSchedule((QueryDeadline(at=1.0, task="io0"),))
+        names = ("io0", "cpu0")
+        once = with_deadlines(base, 7, horizon=4.0, task_names=names)
+        twice = with_deadlines(base, 7, horizon=4.0, task_names=names)
+        assert once.faults == twice.faults
+        assert len(once) > len(base)
+        assert all(
+            1.0 <= f.at <= 3.0
+            for f in once.deadlines
+            if f not in base.faults
+        )

@@ -1,0 +1,41 @@
+"""Tests for the recovery benchmark harness."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.harness import recover_workload, run_recover, smoke_lines
+
+
+class TestRunRecover:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_recover(seed=0, scale=0.2)
+
+    def test_both_arms_complete(self, report):
+        assert report.complete
+        assert report.scratch.crashes == report.resumed.crashes == 3
+
+    def test_resume_beats_scratch(self, report):
+        assert report.resumed.restores == 3
+        assert report.scratch.restores == 0
+        assert report.gain > 0.0
+        assert report.resumed.total_elapsed < report.scratch.total_elapsed
+
+    def test_lines_are_stable(self, report):
+        lines = report.to_lines()
+        assert lines[0].startswith("recover seed=0")
+        assert lines == run_recover(seed=0, scale=0.2).to_lines()
+
+    def test_scale_validation(self, machine):
+        with pytest.raises(RecoveryError):
+            recover_workload(machine, scale=0.0)
+
+
+class TestSmokeLines:
+    def test_smoke_passes_and_is_byte_stable(self):
+        first = smoke_lines(seed=0)
+        assert not any(line.startswith("smoke failed") for line in first)
+        assert first == smoke_lines(seed=0)
+
+    def test_different_seeds_differ(self):
+        assert smoke_lines(seed=0) != smoke_lines(seed=1)

@@ -1,0 +1,275 @@
+"""Tests for end-to-end deadline budgets in the serving loop.
+
+The deadline enters at admission (``QueryService.submit``), flows with
+the submission through the gate, and — under ``deadline_policy="kill"``
+or ``"shed"`` — triggers cooperative cancellation in the engine: clean
+``Cancel`` actions, resources released, every fragment accounted as
+completed or cancelled, never a wedged run.
+"""
+
+import pytest
+
+from repro.config import paper_machine
+from repro.core import make_task
+from repro.errors import AdmissionError, ServiceOverloadError
+from repro.service import QueryService, ServiceSubmission
+from repro.service.queue import AdmissionQueue
+
+
+@pytest.fixture
+def machine():
+    return paper_machine()
+
+
+def _service(machine, policy="kill", grace=0.0, **kwargs):
+    return QueryService(
+        machine,
+        deadline_policy=policy,
+        deadline_grace=grace,
+        **kwargs,
+    )
+
+
+def _pipe_tasks(name):
+    """Two dependent fragments: b cannot start until a completes."""
+    a = make_task(f"{name}-a", io_rate=40.0, seq_time=30.0)
+    b = make_task(f"{name}-b", io_rate=40.0, seq_time=30.0)
+    return [a, b.with_dependencies({a.task_id})]
+
+
+class TestSubmitApi:
+    def test_submit_builds_and_run_submitted_clears(self, machine):
+        service = _service(machine, policy="off")
+        sub = service.submit(
+            "q0", [make_task("q0-f0", io_rate=40.0, seq_time=5.0)]
+        )
+        assert isinstance(sub, ServiceSubmission)
+        result = service.run_submitted()
+        assert result.outcome("q0").status == "completed"
+        # The queue of pending submissions was consumed.
+        with pytest.raises(AdmissionError):
+            service.run_submitted()
+
+    def test_relative_deadline_is_anchored_at_arrival(self, machine):
+        service = _service(machine, policy="off")
+        sub = service.submit(
+            "q0",
+            [make_task("q0-f0", io_rate=40.0, seq_time=5.0)],
+            arrival_time=10.0,
+            relative_deadline=3.0,
+        )
+        assert sub.deadline == pytest.approx(13.0)
+
+    def test_both_deadline_forms_rejected(self, machine):
+        service = _service(machine)
+        with pytest.raises(AdmissionError, match="not both"):
+            service.submit(
+                "q0",
+                [make_task("q0-f0", io_rate=40.0, seq_time=5.0)],
+                deadline=5.0,
+                relative_deadline=5.0,
+            )
+
+    def test_bad_policy_and_grace_rejected(self, machine):
+        bad_policy = _service(machine, policy="maybe")
+        bad_policy.submit(
+            "q", [make_task("q-f0", io_rate=40.0, seq_time=1.0)]
+        )
+        with pytest.raises(AdmissionError, match="deadline_policy"):
+            bad_policy.run_submitted()
+        bad_grace = _service(machine, policy="kill", grace=-1.0)
+        bad_grace.submit(
+            "q", [make_task("q-f0", io_rate=40.0, seq_time=1.0)]
+        )
+        with pytest.raises(AdmissionError, match="deadline_grace"):
+            bad_grace.run_submitted()
+
+
+class TestOffPolicy:
+    def test_deadline_stays_a_soft_slo_tag(self, machine):
+        service = _service(machine, policy="off")
+        service.submit(
+            "slow",
+            [make_task("slow-f0", io_rate=40.0, seq_time=30.0)],
+            relative_deadline=1.0,
+        )
+        result = service.run_submitted()
+        outcome = result.outcome("slow")
+        assert outcome.status == "completed"
+        assert outcome.slo_missed
+        assert result.schedule.cancel_records == []
+        assert result.metrics.overall.deadline_cancelled == 0
+
+
+class TestKillPolicy:
+    def test_running_submission_killed_at_deadline(self, machine):
+        service = _service(machine, policy="kill")
+        service.submit(
+            "doomed",
+            [make_task("doomed-f0", io_rate=40.0, seq_time=60.0)],
+            relative_deadline=2.0,
+        )
+        service.submit(
+            "fine", [make_task("fine-f0", io_rate=40.0, seq_time=5.0)]
+        )
+        result = service.run_submitted()
+        doomed = result.outcome("doomed")
+        assert doomed.status == "deadline"
+        assert doomed.finished_at is None
+        assert doomed.cancelled_at == pytest.approx(2.0, abs=1e-6)
+        assert doomed.slo_missed
+        assert result.outcome("fine").status == "completed"
+        names = [c.task.name for c in result.schedule.cancel_records]
+        assert names == ["doomed-f0"]
+        tm = result.metrics.overall
+        assert tm.deadline_cancelled == 1
+        assert tm.completed == 1
+
+    def test_queued_submission_dropped_at_deadline(self, machine):
+        service = _service(
+            machine, policy="kill", max_inflight_fragments=1
+        )
+        service.submit(
+            "hog", [make_task("hog-f0", io_rate=40.0, seq_time=60.0)]
+        )
+        service.submit(
+            "starved",
+            [
+                make_task(f"starved-f{i}", io_rate=40.0, seq_time=60.0)
+                for i in range(2)
+            ],
+            relative_deadline=2.0,
+        )
+        result = service.run_submitted()
+        starved = result.outcome("starved")
+        assert starved.status == "deadline"
+        assert starved.admitted_at is None
+        # Both never-started fragments were cancelled out of the engine.
+        assert len(result.schedule.cancel_records) == 2
+        assert all(
+            c.started_at is None for c in result.schedule.cancel_records
+        )
+
+    def test_every_fragment_accounted(self, machine):
+        service = _service(machine, policy="kill")
+        service.submit("pipe", _pipe_tasks("pipe"), relative_deadline=2.0)
+        service.submit(
+            "ok", [make_task("ok-f0", io_rate=40.0, seq_time=5.0)]
+        )
+        result = service.run_submitted()
+        done = {r.task.name for r in result.schedule.records}
+        cancelled = {c.task.name for c in result.schedule.cancel_records}
+        assert not (done & cancelled)
+        assert done | cancelled == {"pipe-a", "pipe-b", "ok-f0"}
+
+
+class TestShedPolicy:
+    def test_degraded_completion_inside_grace(self, machine):
+        service = _service(machine, policy="shed", grace=30.0)
+        service.submit("pipe", _pipe_tasks("pipe"), relative_deadline=3.0)
+        result = service.run_submitted()
+        outcome = result.outcome("pipe")
+        assert outcome.status == "degraded"
+        assert outcome.finished_at is not None
+        assert outcome.cancelled_at == pytest.approx(3.0, abs=1e-6)
+        # Only the not-yet-started dependent was shed.
+        names = [c.task.name for c in result.schedule.cancel_records]
+        assert names == ["pipe-b"]
+        tm = result.metrics.overall
+        assert tm.degraded == 1
+        assert tm.completed == 1
+        assert tm.deadline_cancelled == 0
+
+    def test_grace_expiry_kills_the_rest(self, machine):
+        service = _service(machine, policy="shed", grace=1.0)
+        service.submit("pipe", _pipe_tasks("pipe"), relative_deadline=3.0)
+        result = service.run_submitted()
+        outcome = result.outcome("pipe")
+        assert outcome.status == "deadline"
+        assert outcome.finished_at is None
+        names = [c.task.name for c in result.schedule.cancel_records]
+        assert names == ["pipe-b", "pipe-a"]
+        assert result.metrics.overall.deadline_cancelled == 1
+
+    def test_deterministic_across_runs(self, machine):
+        def run():
+            service = _service(machine, policy="shed", grace=1.0)
+            service.submit(
+                "pipe", _pipe_tasks("pipe"), relative_deadline=3.0
+            )
+            service.submit(
+                "ok", [make_task("ok-f0", io_rate=40.0, seq_time=5.0)]
+            )
+            return service.run_submitted()
+
+        first, second = run(), run()
+        assert first.metrics.to_table() == second.metrics.to_table()
+        assert [
+            (c.task.name, c.cancelled_at)
+            for c in first.schedule.cancel_records
+        ] == [
+            (c.task.name, c.cancelled_at)
+            for c in second.schedule.cancel_records
+        ]
+
+
+class TestErrorExitPaths:
+    """Satellite: the service's failure modes raise, not wedge."""
+
+    def test_overflow_without_retry_rejects(self, machine):
+        service = QueryService(
+            machine, queue_capacity=1, max_inflight_fragments=1
+        )
+        for i in range(4):
+            service.submit(
+                f"q{i}",
+                [make_task(f"q{i}-f0", io_rate=40.0, seq_time=60.0)],
+            )
+        result = service.run_submitted()
+        statuses = [o.status for o in result.outcomes]
+        assert "rejected" in statuses
+        rejected = [o for o in result.outcomes if o.status == "rejected"]
+        for outcome in rejected:
+            assert outcome.rejected_at is not None
+            with pytest.raises(AdmissionError):
+                outcome.response_time
+
+    def test_retry_exhaustion_still_rejects(self, machine):
+        from repro.faults.retry import RetryPolicy
+
+        service = QueryService(
+            machine,
+            queue_capacity=1,
+            max_inflight_fragments=1,
+            retry=RetryPolicy(max_retries=2, base_delay=0.1, jitter=0.0),
+        )
+        for i in range(4):
+            service.submit(
+                f"q{i}",
+                [make_task(f"q{i}-f0", io_rate=40.0, seq_time=60.0)],
+            )
+        result = service.run_submitted()
+        rejected = [o for o in result.outcomes if o.status == "rejected"]
+        assert rejected, "sustained overload must eventually reject"
+        assert result.metrics.overall.retries > 0
+
+    def test_queue_overflow_error_carries_tenant(self):
+        queue = AdmissionQueue(1)
+        first = ServiceSubmission(
+            name="a",
+            tenant="t0",
+            tasks=(make_task("a-f0", io_rate=40.0, seq_time=1.0),),
+        )
+        second = ServiceSubmission(
+            name="b",
+            tenant="t0",
+            tasks=(make_task("b-f0", io_rate=40.0, seq_time=1.0),),
+        )
+        queue.offer(first, 0.0)
+        with pytest.raises(ServiceOverloadError) as err:
+            queue.offer(second, 0.0)
+        assert "t0" in str(err.value)
+
+    def test_empty_stream_raises_admission_error(self, machine):
+        with pytest.raises(AdmissionError, match="empty submission stream"):
+            QueryService(machine).run([])

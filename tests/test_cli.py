@@ -222,3 +222,85 @@ class TestTraceCommand:
 
     def test_trace_rejects_bad_seed(self, capsys):
         assert main(["trace", "--seed", "not-a-number"]) == EXIT_USAGE
+
+
+class TestRecoverCommand:
+    def test_recover_smoke_exits_zero(self, capsys):
+        assert main(["recover", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "recover seed=0" in out
+        assert "gain:" in out
+        assert "restores 3" in out
+
+    def test_recover_smoke_is_byte_stable(self, capsys):
+        assert main(["recover", "--smoke"]) == 0
+        first = capsys.readouterr().out
+        assert main(["recover", "--smoke"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_recover_smoke_failure_exits_one(self, capsys, monkeypatch):
+        import repro.recovery.harness
+
+        monkeypatch.setattr(
+            repro.recovery.harness,
+            "smoke_lines",
+            lambda *, seed=0: ["smoke failed: resume arm never restored"],
+        )
+        assert main(["recover", "--smoke"]) == 1
+        assert "smoke failed" in capsys.readouterr().out
+
+    def test_recover_full_run(self, capsys):
+        assert main(["recover", "--scale", "0.2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "recover seed=1" in out
+        assert "scratch: total" in out
+        assert "resumed: total" in out
+
+    def test_recover_schedule_file(self, capsys, tmp_path):
+        path = tmp_path / "sched.json"
+        path.write_text(
+            json.dumps(
+                {"faults": [{"kind": "master-crash", "at": 0.2}]}
+            )
+        )
+        assert main(
+            ["recover", "--scale", "0.2", "--schedule", str(path)]
+        ) == 0
+        assert "faults=1 scheduled" in capsys.readouterr().out
+
+    def test_recover_missing_schedule_exits_repro_error(self, capsys):
+        assert main(
+            ["recover", "--schedule", "/no/such/file.json"]
+        ) == EXIT_REPRO_ERROR
+        assert "cannot read fault schedule" in capsys.readouterr().err
+
+    def test_recover_preset_choices_are_validated(self, capsys):
+        assert main(["recover", "--preset", "earthquake"]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_recover_bad_scale_exits_repro_error(self, capsys):
+        assert main(["recover", "--scale", "0"]) == EXIT_REPRO_ERROR
+        assert "scale must be positive" in capsys.readouterr().err
+
+
+class TestChaosSoak:
+    def test_soak_exits_zero_and_reports(self, capsys):
+        assert main(["chaos", "--soak", "2", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "soak: 6 runs" in out
+        assert "verdict: OK" in out
+
+    def test_soak_failure_exits_one(self, capsys, monkeypatch):
+        from repro.faults import chaos as chaos_module
+
+        def broken_soak(**kwargs):
+            report = chaos_module.SoakReport(n_schedules=1, seeds=(0,))
+            report.runs = 1
+            report.failures.append("seed=0 schedule=0: 2/3 tasks, 0 wedged")
+            return report
+
+        monkeypatch.setattr(chaos_module, "run_soak", broken_soak)
+        assert main(["chaos", "--soak", "1", "--smoke"]) == 1
+        captured = capsys.readouterr()
+        assert "verdict: FAILED" in captured.out
+        assert "soak verdict FAILED" in captured.err

@@ -7,10 +7,12 @@ from repro.errors import (
     BTreeError,
     CircuitOpenError,
     ConfigError,
+    DeadlineExceededError,
     FaultError,
-    IndexError_,
+    MasterCrashError,
     ProtocolError,
     ProtocolTimeoutError,
+    RecoveryError,
     ReproError,
     RetryExhaustedError,
     SchedulingError,
@@ -60,8 +62,20 @@ class TestBTreeError:
 
     def test_deprecated_alias_still_names_the_same_class(self):
         # Old callers catching IndexError_ must keep working for one
-        # release while the shadow-pun name is phased out.
-        assert IndexError_ is BTreeError
+        # release while the shadow-pun name is phased out — but the
+        # access now warns, and the module namespace no longer carries
+        # the alias eagerly.
+        import repro.errors as errors_module
+
+        assert "IndexError_" not in vars(errors_module)
+        with pytest.warns(DeprecationWarning, match="catch BTreeError"):
+            assert errors_module.IndexError_ is BTreeError
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.errors as errors_module
+
+        with pytest.raises(AttributeError):
+            errors_module.NoSuchError  # noqa: B018
 
 
 class TestProtocolTimeoutError:
@@ -91,3 +105,29 @@ class TestFaultErrors:
         error = CircuitOpenError(3)
         assert error.submission_id == 3
         assert "breaker is open" in str(error)
+
+
+class TestRecoveryErrors:
+    def test_recovery_errors_are_repro_errors(self):
+        assert issubclass(RecoveryError, ReproError)
+        assert issubclass(MasterCrashError, ReproError)
+        assert issubclass(DeadlineExceededError, ServiceError)
+
+    def test_master_crash_carries_times(self):
+        error = MasterCrashError(2.5, 1.75)
+        assert error.at == 2.5
+        assert error.checkpoint_at == 1.75
+        assert "t=2.500" in str(error)
+        assert "t=1.750" in str(error)
+
+    def test_master_crash_without_checkpoint(self):
+        error = MasterCrashError(0.5)
+        assert error.checkpoint_at is None
+        assert "no checkpoint yet" in str(error)
+
+    def test_deadline_exceeded_carries_budget(self):
+        error = DeadlineExceededError("q3", 4.0, 4.25)
+        assert error.name == "q3"
+        assert error.deadline == 4.0
+        assert error.now == 4.25
+        assert "q3" in str(error)

@@ -14,6 +14,7 @@ Commands:
 * ``perf``      — time the micro engine's pages/sec throughput.
 * ``optbench``  — time the optimizer's plans/sec throughput.
 * ``trace``     — record a unified trace and export it (Chrome/JSON).
+* ``check``     — runtime invariants, differential checks and fuzzing.
 
 Exit codes: ``0`` success, ``1`` command-specific failure, ``2`` bad
 arguments (argparse usage errors), ``3`` a :class:`~repro.errors.ReproError`
@@ -387,6 +388,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check.fuzz import fuzz, generate_scenario, run_case, shrink, smoke_lines
+
+    if args.smoke:
+        # One quick pass over every pillar: invariant hooks in both
+        # engines, each differential pair, and the real executor.
+        lines = smoke_lines(seed=args.seed)
+        print("\n".join(lines))
+        if any(line.startswith("smoke failed") for line in lines):
+            return 1
+        return 0
+    if args.invariants:
+        scenario = generate_scenario(args.seed)
+        print(scenario.describe())
+        failures = run_case(scenario, executor=args.executor)
+        for failure in failures:
+            print(f"check failed: {failure}")
+        return 1 if failures else 0
+    n = args.fuzz if args.fuzz is not None else 50
+
+    def progress(done: int, total: int, failed: int) -> None:
+        print(f"fuzz: {done}/{total} cases, {failed} failing", flush=True)
+
+    report = fuzz(
+        n,
+        seed=args.seed,
+        deep=not args.shallow,
+        executor=args.executor,
+        do_shrink=args.shrink,
+        progress=progress,
+    )
+    if report.ok:
+        print(f"check ok: {report.cases} cases, 0 failures")
+        return 0
+    print(f"check failed: {len(report.failures)} of {report.cases} cases")
+    for scenario, failures in report.failures:
+        print()
+        print(scenario.describe())
+        for failure in failures:
+            print(f"  {failure}")
+    if args.shrink:
+        print()
+        print("reproduce the first failure with:")
+        print(f"  python -m repro check --invariants --seed {report.failures[0][0].seed}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -714,6 +762,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick deterministic run, byte-stable output",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    check = commands.add_parser(
+        "check",
+        help="runtime invariants, cross-engine differentials and fuzzing",
+    )
+    check.add_argument("--seed", type=int, default=0, help="base fuzz seed")
+    check.add_argument(
+        "--fuzz",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of fuzz cases (default 50)",
+    )
+    check.add_argument(
+        "--invariants",
+        action="store_true",
+        help="run the single seeded scenario, printing it first "
+        "(the reproducer mode --shrink points at)",
+    )
+    check.add_argument(
+        "--shrink",
+        action="store_true",
+        help="minimize failing scenarios before reporting them",
+    )
+    check.add_argument(
+        "--executor",
+        action="store_true",
+        help="include the multiprocessing executor differential "
+        "(spawns real processes on every 25th seed)",
+    )
+    check.add_argument(
+        "--shallow",
+        action="store_true",
+        help="skip the O(state) checkpoint-roundtrip invariant",
+    )
+    check.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one quick pass over every pillar",
+    )
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

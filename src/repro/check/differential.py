@@ -1,0 +1,198 @@
+"""Differential checks: run the same workload through independent paths.
+
+Each check returns a list of divergence strings (empty = agreement), so
+the fuzzer can aggregate them and tests can assert emptiness.  The four
+pairs, and what "agreement" means for each:
+
+* **micro vs fluid** — same specs, same integral policy.  The engines
+  model the same Section-2 schedule at different granularity (pages vs
+  rates), so elapsed time and io utilization must agree to a *bounded*
+  divergence; exact equality is not expected.  CPU utilization is
+  excluded by design: fluid charges processor *occupancy* (a slave
+  holds its processor while io-throttled) while micro books processor
+  *service* (a slave queues for a CPU per page), so the two report
+  different quantities on IO-heavy mixes — see docs/CHECKING.md.
+* **recursion vs fluid** — the ``T_n(S)`` closed-form recursion and
+  the fluid engine with zero adjustment overhead are the same
+  function; they must agree to numerical tolerance (1e-4 relative).
+* **optimizer fast path vs reference** — byte-identical plan shape and
+  bit-identical parcost on every query; the fast path promises plan
+  identity, so *any* difference is a bug.
+* **real executor vs protocol semantics** — the multiprocessing
+  Figure-5/6 executor must deliver every row exactly once under any
+  adjustment schedule, the same exactly-once guarantee the micro
+  engine's conservation invariant asserts for the simulated protocol.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig, paper_machine
+from ..core import InterWithAdjPolicy, make_task
+from ..core.recursion import elapsed_time_recursion
+from ..sim.fluid import FluidSimulator
+from ..sim.micro import MicroSimulator
+
+#: Bounded-divergence tolerances for micro-vs-fluid, calibrated over
+#: the seeded workload mixes and fuzz campaigns.  Three regimes, from
+#: tight to loose (see docs/CHECKING.md for the mechanics):
+#:
+#: * page-partitioned sequential scans agree tightly (worst observed
+#:   rel elapsed 0.17 across the seeded mixes);
+#: * random-io tasks diverge more — micro simulates per-disk queueing,
+#:   and integral slaves over 4 disks leave disks idle in ways the
+#:   fluid bandwidth split cannot see (a lone random scan shows ~0.13);
+#: * range-partitioned (Figure 6) scans can phase-lock: contiguous key
+#:   intervals over round-robin striping make every slave rotate disks
+#:   in step, and when interval starts collide mod ``disks`` one disk
+#:   serves two slaves every cycle while another idles (a lone 5-slave
+#:   range scan shows ~0.55).  Inherent to the protocol, not a bug —
+#:   recorded in ROADMAP "Open items".
+REL_ELAPSED_SEQ = 0.25
+REL_ELAPSED_RANDOM = 0.45
+REL_ELAPSED_RANGE = 0.65
+ABS_IO_UTIL = 0.25
+ABS_IO_UTIL_LOOSE = 0.35
+
+
+def check_micro_vs_fluid(
+    specs,
+    machine: MachineConfig | None = None,
+    *,
+    policy=None,
+    invariants=None,
+    rel_elapsed: float | None = None,
+    abs_io_util: float | None = None,
+) -> list[str]:
+    """Run ``specs`` through both engines; return bounded divergences."""
+    from ..core.task import IOPattern
+
+    machine = machine or paper_machine()
+    policy = policy or InterWithAdjPolicy(integral=True)
+    any_random = any(s.pattern == IOPattern.RANDOM for s in specs)
+    any_range = any(s.partitioning == "range" for s in specs)
+    if rel_elapsed is None:
+        rel_elapsed = REL_ELAPSED_SEQ
+        if any_random:
+            rel_elapsed = REL_ELAPSED_RANDOM
+        if any_range:
+            rel_elapsed = REL_ELAPSED_RANGE
+    if abs_io_util is None:
+        abs_io_util = (
+            ABS_IO_UTIL_LOOSE if any_random or any_range else ABS_IO_UTIL
+        )
+    tasks = [spec.to_task(machine) for spec in specs]
+    micro = MicroSimulator(machine, invariants=invariants).run(specs, policy)
+    if invariants is not None:
+        invariants.new_run()
+    fluid = FluidSimulator(machine, invariants=invariants).run(tasks, policy)
+    if invariants is not None:
+        invariants.new_run()
+    divergences: list[str] = []
+    denom = max(fluid.elapsed, 1e-9)
+    rel = abs(micro.elapsed - fluid.elapsed) / denom
+    if rel > rel_elapsed:
+        divergences.append(
+            f"micro-vs-fluid elapsed diverges: micro={micro.elapsed:.4f} "
+            f"fluid={fluid.elapsed:.4f} (rel {rel:.3f} > {rel_elapsed})"
+        )
+    d_io = abs(micro.io_utilization - fluid.io_utilization)
+    if d_io > abs_io_util:
+        divergences.append(
+            f"micro-vs-fluid io utilization diverges: "
+            f"micro={micro.io_utilization:.3f} "
+            f"fluid={fluid.io_utilization:.3f} (delta {d_io:.3f})"
+        )
+    return divergences
+
+
+def check_recursion_vs_fluid(
+    tasks, machine: MachineConfig | None = None, *, rel: float = 1e-4
+) -> list[str]:
+    """The closed-form recursion and the overhead-free fluid engine."""
+    machine = machine or paper_machine()
+    recursion = elapsed_time_recursion(list(tasks), machine)
+    fluid = (
+        FluidSimulator(machine, adjustment_overhead=0.0)
+        .run(list(tasks), InterWithAdjPolicy())
+        .elapsed
+    )
+    if abs(fluid - recursion) > rel * max(abs(recursion), 1.0):
+        return [
+            f"recursion-vs-fluid elapsed diverges: recursion={recursion!r} "
+            f"fluid={fluid!r}"
+        ]
+    return []
+
+
+def check_optimizer_fast_path(schema, *, spaces=("left-deep", "right-deep", "bushy")) -> list[str]:
+    """Fast path must reproduce the reference plan bit-for-bit."""
+    from ..optimizer import (
+        OptimizerCaches,
+        ParcostObjective,
+        enumerate_space,
+        parcost,
+        plan_shape_key,
+    )
+
+    divergences: list[str] = []
+    for space in spaces:
+        chosen = {}
+        for fast_path in (False, True):
+            caches = OptimizerCaches() if fast_path else None
+            objective = ParcostObjective(schema.catalog, caches=caches)
+            stats = caches.stats if caches is not None else None
+            plan = enumerate_space(
+                schema.query, schema.catalog, objective, space=space, stats=stats
+            )
+            chosen[fast_path] = (
+                plan_shape_key(plan),
+                parcost(plan, schema.catalog).hex(),
+            )
+        if chosen[False] != chosen[True]:
+            divergences.append(
+                f"optimizer fast path diverges in {space}: "
+                f"reference={chosen[False]} fast={chosen[True]}"
+            )
+    return divergences
+
+
+def check_executor_vs_protocol(
+    *,
+    n_rows: int = 400,
+    parallelism: int = 2,
+    adjustments=(),
+) -> list[str]:
+    """The real mp executor delivers every row exactly once.
+
+    This is the executor-side twin of the micro engine's page
+    conservation invariant: across the same Figure-5 adjustment
+    schedule, the simulated protocol conserves pages and the real one
+    must conserve rows.
+    """
+    from ..catalog import Schema
+    from ..parallel import AdjustmentPlan, ParallelSeqScan
+    from ..storage import DiskArray, HeapFile
+
+    heap = HeapFile(
+        Schema.of(("a", "int4"), ("b", "text")),
+        DiskArray(MachineConfig(processors=2, disks=2)),
+        name="check",
+    )
+    heap.insert_many([(i, f"p-{i}" + "x" * 40) for i in range(n_rows)])
+    plans = [AdjustmentPlan(after_pages=a, parallelism=p) for a, p in adjustments]
+    report = ParallelSeqScan(heap, parallelism=parallelism, adjustments=plans).run()
+    divergences: list[str] = []
+    got = sorted(r[0] for r in report.rows)
+    if got != list(range(n_rows)):
+        missing = sorted(set(range(n_rows)) - set(got))
+        extra = sorted(k for k in set(got) if got.count(k) > 1)
+        divergences.append(
+            f"executor row conservation violated: missing={missing[:8]} "
+            f"duplicated={extra[:8]}"
+        )
+    if report.pages_read != heap.page_count:
+        divergences.append(
+            f"executor page count diverges: read {report.pages_read} of "
+            f"{heap.page_count}"
+        )
+    return divergences

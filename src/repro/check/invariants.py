@@ -1,0 +1,283 @@
+"""Runtime invariant checker for both execution engines.
+
+The engines accept an ``invariants=`` argument (default ``None``) and
+call back into it only from *cold* sites — task start, adjustment
+apply, task completion, end of run for the micro engine; once per
+event for the fluid engine, whose events are coarse.  With the checker
+off every hook is a single ``is not None`` test, following the same
+zero-cost-when-off idiom as the tracer, so corpus byte-identity and
+the perf benches are untouched.
+
+Invariant catalogue (see docs/CHECKING.md for the derivations):
+
+* **page conservation** — across any number of adjustment rounds,
+  crashes and resumes, ``pages_done + inflight + unclaimed ==
+  n_pages`` and no page (or key) is claimable by two slaves.
+* **virtual-clock monotonicity** — the engine clock never runs
+  backwards between hook sites.
+* **queue non-negativity** — ``0 <= free_processors <= N``.
+* **parallelism bounds** — every running degree satisfies
+  ``1 <= x <= N`` and ``x <= maxp`` (pattern-aware bandwidth wall,
+  with half-a-processor slack for the micro engine's integral
+  rounding).
+* **utilization** — CPU and IO utilization of a finished run are
+  ``<= 1 + epsilon``.
+* **protocol-generation monotonicity** — a run's ``adjust_epoch``
+  only ever grows.
+* **checkpoint roundtrip** — at every round boundary, the engine's
+  checkpoint survives ``to_dict -> json -> from_dict`` losslessly
+  (``deep=True`` only; this one is O(state) per boundary).
+
+The checker is one-run state (it remembers the last clock and epoch);
+build a fresh one per run or call :meth:`reset`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import InvariantViolation
+
+_ABS_EPS = 1e-9
+
+
+class InvariantChecker:
+    """Collects or raises invariant violations from engine hook sites.
+
+    Args:
+        epsilon: relative slack on utilization and bounds checks.
+        collect: record violations in :attr:`violations` instead of
+            raising :class:`~repro.errors.InvariantViolation` at the
+            first one (the fuzzer collects; tests usually raise).
+        deep: also verify the checkpoint dict/JSON roundtrip at micro
+            round boundaries (O(state) per boundary, so opt-out for
+            large workloads).
+    """
+
+    def __init__(
+        self,
+        *,
+        epsilon: float = 1e-6,
+        collect: bool = False,
+        deep: bool = True,
+    ) -> None:
+        self.epsilon = epsilon
+        self.collect = collect
+        self.deep = deep
+        self.violations: list[str] = []
+        self.checks = 0
+        self._last_clock = float("-inf")
+        self._last_epoch: dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Clear violations, counters and all per-run state."""
+        self.violations.clear()
+        self.checks = 0
+        self.new_run()
+
+    def new_run(self) -> None:
+        """Forget per-run state (clock, epochs) but keep violations."""
+        self._last_clock = float("-inf")
+        self._last_epoch.clear()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _fail(self, site: str, detail: str) -> None:
+        if self.collect:
+            self.violations.append(f"[{site}] {detail}")
+            return
+        raise InvariantViolation(site, detail)
+
+    def _clock(self, site: str, now: float) -> None:
+        if now < self._last_clock - _ABS_EPS:
+            self._fail(
+                site,
+                f"clock went backwards: {now!r} after {self._last_clock!r}",
+            )
+        self._last_clock = max(self._last_clock, now)
+
+    # -- micro engine ---------------------------------------------------------
+
+    def micro_site(self, engine, run, site: str) -> None:
+        """Hook for the micro engine's cold sites.
+
+        ``engine`` is a ``_MicroEngine`` and ``run`` the ``_TaskRun``
+        the site acted on (``None`` for engine-wide sites); both are
+        duck-typed so this module imports nothing from ``repro.sim``.
+        """
+        self.checks += 1
+        label = f"micro:{site}"
+        self._clock(label, engine.clock)
+        machine = engine.machine
+        n = machine.processors
+        free = engine.free_processors
+        if not 0 <= free <= n:
+            self._fail(label, f"free_processors={free} outside [0, {n}]")
+        for other in engine.running.values():
+            self._check_parallelism(
+                label, other, machine, integral_slack=0.5
+            )
+        if run is not None:
+            epoch = run.adjust_epoch
+            last = self._last_epoch.get(run.task.task_id, -1)
+            if epoch < last:
+                self._fail(
+                    label,
+                    f"{run.task.name}: adjust_epoch regressed {last} -> {epoch}",
+                )
+            self._last_epoch[run.task.task_id] = max(last, epoch)
+            if not run.adjusting:
+                self._check_conservation(label, run)
+        if (
+            self.deep
+            and site in ("adjust", "complete")
+            and not any(r.adjusting for r in engine.running.values())
+        ):
+            self._check_checkpoint_roundtrip(label, engine)
+
+    def micro_end(self, engine, result) -> None:
+        """Hook at the end of a micro run, with its ScheduleResult."""
+        self.checks += 1
+        label = "micro:end"
+        eps = self.epsilon
+        if result.cpu_utilization > 1.0 + eps:
+            self._fail(
+                label, f"cpu_utilization={result.cpu_utilization!r} > 1"
+            )
+        if result.io_utilization > 1.0 + eps:
+            self._fail(label, f"io_utilization={result.io_utilization!r} > 1")
+        elapsed = result.elapsed
+        for disk in engine.disks:
+            if disk.busy_time > elapsed * (1.0 + eps) + _ABS_EPS:
+                self._fail(
+                    label,
+                    f"disk {disk.disk_id} busy {disk.busy_time!r}s in an "
+                    f"{elapsed!r}s run",
+                )
+
+    def _check_parallelism(
+        self, label: str, run, machine, *, integral_slack: float
+    ) -> None:
+        x = run.parallelism
+        n = machine.processors
+        eps = self.epsilon
+        if not 1.0 - eps <= x <= n + eps:
+            self._fail(
+                label, f"{run.task.name}: parallelism {x!r} outside [1, {n}]"
+            )
+        task = run.task
+        if task.io_rate > 0:
+            # The pattern-aware bandwidth wall (classify.max_parallelism
+            # inlined to keep this module import-free).  The micro engine
+            # rounds continuous degrees to integers, so allow half a
+            # processor of rounding slack.
+            from ..core.classify import max_parallelism
+
+            maxp = max_parallelism(task, machine)
+            if x > maxp * (1.0 + eps) + integral_slack:
+                self._fail(
+                    label,
+                    f"{task.name}: parallelism {x!r} exceeds maxp {maxp!r}",
+                )
+
+    def _check_conservation(self, label: str, run) -> None:
+        """pages_done + inflight + unclaimed == n_pages, no double claim."""
+        name = run.task.name
+        n_pages = run.spec.n_pages
+        inflight: list[int] = []
+        claims: dict[int, int] = {}
+        for slave in sorted(run.slaves.values(), key=lambda s: s.slave_id):
+            if slave.crashed:
+                continue
+            if slave.busy and slave.inflight_page is not None:
+                inflight.append(slave.inflight_page)
+            if run.page_mode:
+                pos = slave.cursor
+                for seg in slave.segments:
+                    page = seg.first_at_or_after(pos)
+                    while page is not None:
+                        claims[page] = claims.get(page, 0) + 1
+                        pos = page + 1
+                        page = page + seg.stride
+                        if page > seg.hi:
+                            page = None
+            else:
+                for lo, hi in slave.intervals:
+                    for key in range(lo, hi + 1):
+                        claims[key] = claims.get(key, 0) + 1
+        harvest = getattr(run, "harvest", None)
+        if harvest:
+            for intervals in harvest.values():
+                for lo, hi in intervals:
+                    for key in range(lo, hi + 1):
+                        claims[key] = claims.get(key, 0) + 1
+        doubled = sorted(p for p, c in claims.items() if c > 1)
+        if doubled:
+            self._fail(
+                label,
+                f"{name}: pages claimable by two slaves: {doubled[:8]}",
+            )
+        overlap = sorted(set(inflight) & set(claims))
+        if overlap:
+            self._fail(
+                label,
+                f"{name}: in-flight pages still claimable: {overlap[:8]}",
+            )
+        if len(inflight) != len(set(inflight)):
+            self._fail(label, f"{name}: page in flight twice: {inflight}")
+        total = run.pages_done + len(inflight) + len(claims)
+        if total != n_pages:
+            self._fail(
+                label,
+                f"{name}: page conservation violated — done={run.pages_done} "
+                f"inflight={len(inflight)} unclaimed={len(claims)} "
+                f"!= n_pages={n_pages}",
+            )
+
+    def _check_checkpoint_roundtrip(self, label: str, engine) -> None:
+        checkpoint = engine.checkpoint()
+        wire = json.loads(json.dumps(checkpoint.to_dict()))
+        restored = type(checkpoint).from_dict(wire)
+        if restored != checkpoint:
+            self._fail(
+                label,
+                "checkpoint changed across to_dict/json/from_dict at "
+                f"t={checkpoint.taken_at!r}",
+            )
+
+    # -- fluid engine ---------------------------------------------------------
+
+    def fluid_event(self, state, *, machine, cpu_busy: float) -> None:
+        """Hook after each fluid event's advance+settle."""
+        self.checks += 1
+        label = "fluid:event"
+        self._clock(label, state.clock)
+        n = machine.processors
+        eps = self.epsilon
+        for run in state.running:
+            self._check_parallelism(label, run, machine, integral_slack=0.0)
+            if run.remaining < -1e-6:
+                self._fail(
+                    label,
+                    f"{run.task.name}: remaining work {run.remaining!r} < 0",
+                )
+        if cpu_busy > n * state.clock * (1.0 + eps) + _ABS_EPS:
+            self._fail(
+                label,
+                f"cpu_busy={cpu_busy!r} exceeds {n} processors x "
+                f"{state.clock!r}s",
+            )
+
+    def fluid_end(self, result) -> None:
+        """Hook at the end of a fluid run, with its ScheduleResult."""
+        self.checks += 1
+        label = "fluid:end"
+        eps = self.epsilon
+        if result.cpu_utilization > 1.0 + eps:
+            self._fail(
+                label, f"cpu_utilization={result.cpu_utilization!r} > 1"
+            )
+        if result.io_utilization > 1.0 + eps:
+            self._fail(label, f"io_utilization={result.io_utilization!r} > 1")

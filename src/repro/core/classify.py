@@ -13,6 +13,8 @@ IO-bound tasks sit above the diagonal and hit the bandwidth wall first
 
 from __future__ import annotations
 
+import math
+
 from ..config import MachineConfig
 from .task import IOPattern, Task
 
@@ -54,8 +56,17 @@ def max_parallelism(task: Task, machine: MachineConfig) -> float:
 
 
 def int_parallelism(x: float, machine: MachineConfig) -> int:
-    """Round a continuous degree of parallelism to a feasible integer."""
-    return max(1, min(machine.processors, int(x)))
+    """Floor a continuous degree of parallelism to a feasible integer.
+
+    Floor, not round: ``x`` is capped by the bandwidth wall
+    ``B / C_i``, and flooring is the only rounding that keeps the
+    integral degree's demand ``C_i * floor(x)`` at or under ``B`` —
+    rounding up past a balance point would oversubscribe the disks,
+    which Section 2.3 never allows.  (For the non-negative degrees
+    seen here ``int(x)`` was already a floor; ``math.floor`` states
+    the intent and pins it for negative inputs too.)
+    """
+    return max(1, min(machine.processors, math.floor(x)))
 
 
 def split_by_bound(

@@ -213,6 +213,28 @@ class ObsError(ReproError):
 
 
 # --------------------------------------------------------------------------
+# checking (repro.check)
+
+
+class CheckError(ReproError):
+    """Base class for correctness-checking errors (repro.check)."""
+
+
+class InvariantViolation(CheckError):
+    """A runtime invariant failed inside an engine.
+
+    Attributes:
+        site: the hook site that tripped, e.g. ``micro:adjust``.
+        detail: what was violated, with the offending numbers.
+    """
+
+    def __init__(self, site: str, detail: str) -> None:
+        super().__init__(f"[{site}] {detail}")
+        self.site = site
+        self.detail = detail
+
+
+# --------------------------------------------------------------------------
 # serving
 
 

@@ -107,7 +107,7 @@ def _page_slave(
                     # Figure 5 step 2: report position, then pause until
                     # the new assignment arrives.
                     flush()
-                    report_queue.put(msg.CurPage(slave_id, cursor))
+                    report_queue.put(msg.CurPage(slave_id, cursor, generation))
                     block = True
                     continue
                 if isinstance(command, msg.NewPageAssignment):
@@ -189,7 +189,9 @@ def _range_slave(
                 if isinstance(command, msg.Signal):
                     flush()
                     remaining = tuple((lo, hi) for lo, hi in pending if lo <= hi)
-                    report_queue.put(msg.RemainingIntervals(slave_id, remaining))
+                    report_queue.put(
+                        msg.RemainingIntervals(slave_id, remaining, generation)
+                    )
                     pending = []
                     block = True
                     continue
@@ -282,32 +284,50 @@ class _MasterBase:
         for conn in self._conns.values():
             conn.close()
 
-    def _collect(self, expected_type, count: int) -> list:
-        """Read ``count`` messages of one type, buffering row traffic."""
-        collected: list = []
+    def _collect_reports(self, expected_type, live: list) -> dict:
+        """One *fresh* position report per live slave, keyed by slave id.
+
+        A report whose ``generation`` predates the slave's latest
+        assignment is a straggler from before a completed adjustment
+        round; applying it would rewind the slave's position and
+        re-scan pages the new partition already covers, so it is
+        discarded and the master keeps waiting for the fresh one.
+        Duplicates and reports from finished slaves are dropped the
+        same way; row traffic arriving meanwhile is buffered for the
+        main loop.
+        """
+        wanted = set(live)
+        reports: dict[int, Any] = {}
         buffered: list = []
-        while len(collected) < count:
+        while wanted - reports.keys():
             message = self.report_queue.get(timeout=60)
             if isinstance(message, msg.SlaveError):
                 raise ProtocolError(message.message)
             if isinstance(message, expected_type):
-                collected.append(message)
-            else:
-                buffered.append(message)
+                if (
+                    message.slave_id in wanted
+                    and message.slave_id not in reports
+                    and message.generation
+                    >= self._min_generation(message.slave_id)
+                ):
+                    reports[message.slave_id] = message
+                continue
+            buffered.append(message)
         self._buffer.extend(buffered)
-        return collected
+        return reports
 
     def _next_message(self):
         if self._buffer:
             return self._buffer.pop(0)
         return self.report_queue.get(timeout=60)
 
-    def _done_generation(self, slave_id: int) -> int:
-        """The generation a SlaveDone from this slave must carry.
+    def _min_generation(self, slave_id: int) -> int:
+        """The generation a report from this slave must carry to count.
 
         A slave that took part in adjustment g (or was spawned at g)
-        reports generation g; an older report is stale — the slave was
-        handed new work after sending it.
+        reports generation g; an older CurPage, RemainingIntervals or
+        SlaveDone is stale — the slave was handed new work after
+        sending it.
         """
         return self._spawn_generation.get(slave_id, 0)
 
@@ -358,10 +378,13 @@ class ParallelSeqScan(_MasterBase):
                 report.rows.extend(message.rows)
                 report.pages_read += message.pages_read
             elif isinstance(message, msg.SlaveDone):
-                if message.generation >= self._done_generation(message.slave_id):
+                if message.generation >= self._min_generation(message.slave_id):
                     self._done.add(message.slave_id)
             elif isinstance(message, (msg.CurPage, msg.RemainingIntervals)):
-                raise ProtocolError(f"unsolicited report: {message!r}")
+                if message.generation >= self._min_generation(message.slave_id):
+                    raise ProtocolError(f"unsolicited report: {message!r}")
+                # Stale straggler from before a completed adjustment
+                # round; the round already collected a fresh report.
             if (
                 pending_adjustments
                 and report.pages_read >= pending_adjustments[0].after_pages
@@ -380,11 +403,9 @@ class ParallelSeqScan(_MasterBase):
         live = [i for i in sorted(self._procs) if i not in self._done]
         for slave_id in live:
             self._conns[slave_id].send(msg.Signal())
-        reports: dict[int, int] = {}
-        for message in self._collect(msg.CurPage, len(live)):
-            reports[message.slave_id] = message.curpage
+        reports = self._collect_reports(msg.CurPage, live)
         current = [self._assignments[i] for i in live]
-        cursors = [reports[i] for i in live]
+        cursors = [reports[i].curpage for i in live]
         maxpage, per_slave = readjust_assignments(
             current, cursors, n_pages, new_parallelism
         )
@@ -495,8 +516,11 @@ class ParallelIndexScan(_MasterBase):
                 report.rows.extend(message.rows)
                 report.pages_read += message.pages_read
             elif isinstance(message, msg.SlaveDone):
-                if message.generation >= self._done_generation(message.slave_id):
+                if message.generation >= self._min_generation(message.slave_id):
                     self._done.add(message.slave_id)
+            elif isinstance(message, (msg.CurPage, msg.RemainingIntervals)):
+                if message.generation >= self._min_generation(message.slave_id):
+                    raise ProtocolError(f"unsolicited report: {message!r}")
             if (
                 pending_adjustments
                 and report.pages_read >= pending_adjustments[0].after_pages
@@ -515,9 +539,10 @@ class ParallelIndexScan(_MasterBase):
         live = [i for i in sorted(self._procs) if i not in self._done]
         for slave_id in live:
             self._conns[slave_id].send(msg.Signal())
+        reports = self._collect_reports(msg.RemainingIntervals, live)
         remaining: list[tuple[int, int]] = []
-        for message in self._collect(msg.RemainingIntervals, len(live)):
-            remaining.extend(message.intervals)
+        for slave_id in live:
+            remaining.extend(reports[slave_id].intervals)
         shares = repartition_intervals(remaining, new_parallelism)
         self._generation += 1
         for index, slave_id in enumerate(live):

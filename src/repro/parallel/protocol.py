@@ -54,18 +54,29 @@ class Shutdown:
 
 @dataclass(frozen=True)
 class CurPage:
-    """Figure 5 step 2: the slave's current (next unclaimed) page."""
+    """Figure 5 step 2: the slave's current (next unclaimed) page.
+
+    ``generation`` is the adjustment generation the slave had seen when
+    it reported.  The master discards a CurPage older than the slave's
+    spawn generation — applying one would repartition from a position
+    that predates a completed adjustment round and double-scan pages.
+    """
 
     slave_id: int
     curpage: int
+    generation: int = 0
 
 
 @dataclass(frozen=True)
 class RemainingIntervals:
-    """Figure 6 step 2: intervals the slave has not yet scanned."""
+    """Figure 6 step 2: intervals the slave has not yet scanned.
+
+    ``generation`` plays the same staleness role as on :class:`CurPage`.
+    """
 
     slave_id: int
     intervals: tuple[tuple[int, int], ...]
+    generation: int = 0
 
 
 @dataclass(frozen=True)

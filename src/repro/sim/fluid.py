@@ -190,6 +190,10 @@ class FluidSimulator:
             per-event, never inside the rate solve, and guard with one
             None check — parcost's costing loop is unaffected when
             tracing is off.
+        invariants: an :class:`~repro.check.InvariantChecker` asserting
+            clock monotonicity, parallelism bounds and utilization at
+            every event; ``None`` (the default) checks nothing and
+            adds one ``is not None`` test per event.
     """
 
     def __init__(
@@ -200,6 +204,7 @@ class FluidSimulator:
         use_effective_bandwidth: bool = True,
         degradations: "Sequence[DiskDegradation] | None" = None,
         tracer=None,
+        invariants=None,
     ) -> None:
         self.machine = machine
         if adjustment_overhead is None:
@@ -224,6 +229,7 @@ class FluidSimulator:
         self._processors = float(machine.processors)
         self._nominal_bandwidth = machine.io_bandwidth
         self.tracer = tracer or None
+        self.invariants = invariants
 
     def _multiplier_at(self, t: float) -> float:
         """Array-wide bandwidth factor at time ``t`` (1.0 = healthy)."""
@@ -267,6 +273,7 @@ class FluidSimulator:
         peak_memory = 0.0
         healthy = not self.degradations
         tracer = self.tracer
+        invariants = self.invariants
         n_recorded = 0
         for __ in range(_MAX_EVENTS):
             if not healthy:
@@ -288,6 +295,21 @@ class FluidSimulator:
                 wake_in = max(wakeup - state.clock, _EPS)
                 horizon = wake_in if horizon is None else min(horizon, wake_in)
             if horizon is None:
+                if state.running:
+                    # Unfinished running tasks, yet every progress rate
+                    # is below _EPS and nothing else is due: terminate
+                    # with a diagnostic naming the stalled tasks rather
+                    # than blaming the policy (or silently settling).
+                    stalled = [
+                        f"{r.task.name} (x={r.parallelism:g}, "
+                        f"remaining={r.remaining:.3g})"
+                        for r in state.running
+                    ]
+                    raise SimulationError(
+                        "stall: running tasks have no progress rate and "
+                        f"no event is due (running=[{', '.join(stalled)}], "
+                        f"pending={[t.name for t in state.pending]})"
+                    )
                 raise SimulationError(
                     "deadlock: pending tasks but the policy started nothing "
                     f"(pending={[t.name for t in state.pending]})"
@@ -312,9 +334,13 @@ class FluidSimulator:
                         },
                     )
                 n_recorded = len(state.records)
+            if invariants is not None:
+                invariants.fluid_event(
+                    state, machine=self.machine, cpu_busy=cpu_busy
+                )
         else:
             raise SimulationError("simulation exceeded the event budget")
-        return ScheduleResult(
+        result = ScheduleResult(
             policy_name=policy.name,
             elapsed=state.clock,
             records=state.records,
@@ -326,6 +352,9 @@ class FluidSimulator:
             shed_records=state.shed_records,
             cancel_records=state.cancel_records,
         )
+        if invariants is not None:
+            invariants.fluid_end(result)
+        return result
 
     # -- internals ----------------------------------------------------------------
 
@@ -387,6 +416,13 @@ class FluidSimulator:
             return []
         total_x = sum(r.parallelism for r in running)
         cpu_scale = min(1.0, self._processors / total_x) if total_x > 0 else 1.0
+        # cpu_scale belongs in the io *demand*: a CPU-throttled slave
+        # issues its next read only after the page's tuples are
+        # processed, so the disks see io_rate * x * cpu_scale.  Folding
+        # it in before the seq/random split cannot skew the Section-2.3
+        # formula — effective_bandwidth_mix is invariant under uniform
+        # scaling of its rates (only the interleave and seq-share
+        # *ratios* enter), which the repro.check parity tests pin down.
         demand = [r.io_rate * r.parallelism * cpu_scale for r in running]
         total_demand = sum(demand)
         bandwidth = self._bandwidth(running, demand)

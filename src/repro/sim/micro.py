@@ -341,6 +341,10 @@ class MicroSimulator:
             ``None`` (or the falsy NullTracer) records nothing.  The
             tracer only appends to its own event list, so enabling it
             cannot perturb the schedule.
+        invariants: an :class:`~repro.check.InvariantChecker` asserting
+            page conservation, clock monotonicity and resource bounds
+            at the engine's cold sites; ``None`` (the default) checks
+            nothing and adds one ``is not None`` test per cold site.
     """
 
     def __init__(
@@ -354,6 +358,7 @@ class MicroSimulator:
         adjust_timeout: float = 0.5,
         recovery=None,
         tracer=None,
+        invariants=None,
     ) -> None:
         flattened = replace(
             machine,
@@ -373,6 +378,7 @@ class MicroSimulator:
         self.adjust_timeout = adjust_timeout
         self.recovery = recovery
         self.tracer = tracer or None
+        self.invariants = invariants
 
     def run(
         self,
@@ -409,6 +415,7 @@ class MicroSimulator:
             recovery=self.recovery,
             resume_from=resume_from,
             tracer=self.tracer,
+            invariants=self.invariants,
         )
         return engine.run()
 
@@ -427,6 +434,7 @@ class _MicroEngine:
         recovery=None,
         resume_from: Checkpoint | None = None,
         tracer=None,
+        invariants=None,
     ) -> None:
         import random
 
@@ -437,6 +445,9 @@ class _MicroEngine:
         #: the inner per-page loop and guard with one None check, so a
         #: disabled tracer leaves the hot path untouched.
         self.tracer = tracer or None
+        #: Invariant checker (None = disabled).  Same idiom as the
+        #: tracer: hooks only on cold sites, one None check each.
+        self.invariants = invariants
         self.clock = 0.0
         #: Heap of (time, seq, tag, payload) — see the _EV_* tags.
         self._events: list[tuple[float, int, int, object]] = []
@@ -526,6 +537,9 @@ class _MicroEngine:
         # A tick with no round in flight is a round boundary too; with
         # recovery off this is the usual single None check.
         self._maybe_checkpoint()
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.micro_site(self, None, "tick")
         assert self._consult_interval is not None
         self._schedule(self._consult_interval, self._master_tick)
 
@@ -901,7 +915,7 @@ class _MicroEngine:
         if self.injector is not None:
             log = self.injector.log
             log.record(elapsed, "done", f"{len(self.records)} tasks complete")
-        return ScheduleResult(
+        result = ScheduleResult(
             policy_name=self.policy.name,
             elapsed=elapsed,
             records=self.records,
@@ -913,6 +927,10 @@ class _MicroEngine:
             fault_log=self.injector.log if self.injector is not None else None,
             cancel_records=self.cancel_records,
         )
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.micro_end(self, result)
+        return result
 
     # -- fault injection ---------------------------------------------------------
 
@@ -1155,6 +1173,9 @@ class _MicroEngine:
         slave.intervals = []
         run.slaves[replacement.slave_id] = replacement
         self._slave_next(run, replacement)
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.micro_site(self, run, "crash")
         self._maybe_complete(run)
 
     # -- cooperative cancellation (deadline budgets) ------------------------------
@@ -1616,6 +1637,9 @@ class _MicroEngine:
                 self._slave_next(run, slave)
             run.next_slave_id = n
         self._maybe_checkpoint()
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.micro_site(self, run, "start")
 
     @staticmethod
     def _split_range(lo: int, hi: int, n: int) -> list[tuple[int, int] | None]:
@@ -1693,6 +1717,9 @@ class _MicroEngine:
                     t=self.clock,
                     value=float(len(self.running)),
                 )
+            invariants = self.invariants
+            if invariants is not None:
+                invariants.micro_site(self, run, "complete")
             self._consult_policy()
             self._maybe_checkpoint()
 
@@ -1905,6 +1932,9 @@ class _MicroEngine:
             slave.paused = False
             if not slave.retired and not slave.busy:
                 self._slave_next(run, slave)
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.micro_site(self, run, "abort")
         self._maybe_complete(run)
         self._consult_policy()
 
@@ -1980,6 +2010,9 @@ class _MicroEngine:
                 cat="adjust",
                 args={"n_new": n_new, "maxpage": maxpage},
             )
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.micro_site(self, run, "adjust")
         self._maybe_complete(run)
         self._maybe_checkpoint()
 
@@ -2074,6 +2107,9 @@ class _MicroEngine:
                 cat="adjust",
                 args={"n_new": n_new, "keys": total},
             )
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.micro_site(self, run, "adjust")
         self._maybe_complete(run)
         self._maybe_checkpoint()
 

@@ -1,0 +1,143 @@
+"""Tests for the cross-engine differential harness.
+
+Includes the Section-2.3 demand-scaling parity tests: the fluid engine
+folds ``cpu_scale`` into the io demand before the sequential/random
+bandwidth split, which is safe exactly because
+``effective_bandwidth_mix`` is invariant under uniform scaling of its
+rates — both facts are pinned here.
+"""
+
+import pytest
+
+from repro.check.differential import (
+    check_executor_vs_protocol,
+    check_micro_vs_fluid,
+    check_optimizer_fast_path,
+    check_recursion_vs_fluid,
+)
+from repro.check.invariants import InvariantChecker
+from repro.config import paper_machine
+from repro.core import make_task
+from repro.core.balance import effective_bandwidth_mix
+from repro.core.task import IOPattern
+from repro.sim.micro import spec_for_io_rate
+from repro.workloads.mixes import WorkloadKind, generate_specs
+from repro.workloads.queries import chain_join
+
+MACHINE = paper_machine()
+
+
+class TestMicroVsFluid:
+    @pytest.mark.parametrize(
+        "kind", [WorkloadKind.ALL_IO, WorkloadKind.ALL_CPU, WorkloadKind.EXTREME]
+    )
+    def test_seeded_mixes_agree(self, kind):
+        specs = generate_specs(kind, seed=0, machine=MACHINE)
+        assert check_micro_vs_fluid(specs, MACHINE) == []
+
+    def test_random_mix_agrees_at_loose_tier(self):
+        specs = generate_specs(WorkloadKind.RANDOM, seed=0, machine=MACHINE)
+        assert check_micro_vs_fluid(specs, MACHINE) == []
+
+    def test_tiny_tolerance_forces_divergence_report(self):
+        specs = generate_specs(WorkloadKind.EXTREME, seed=0, machine=MACHINE)
+        divergences = check_micro_vs_fluid(specs, MACHINE, rel_elapsed=1e-9)
+        assert divergences
+        assert "elapsed diverges" in divergences[0]
+
+    def test_shared_invariants_cover_both_engines(self):
+        inv = InvariantChecker(collect=True)
+        specs = generate_specs(WorkloadKind.EXTREME, seed=1, machine=MACHINE)
+        assert check_micro_vs_fluid(specs, MACHINE, invariants=inv) == []
+        assert inv.checks > 0
+        assert inv.ok
+
+
+class TestDemandScalingParity:
+    """Satellite: Section-2.3 demand scaling, micro vs fluid."""
+
+    def test_effective_bandwidth_mix_is_scale_invariant(self):
+        # Only the interleave and seq-share *ratios* enter the formula,
+        # so scaling every demand uniformly (what folding cpu_scale into
+        # io demand does) cannot move the effective bandwidth.
+        seq = [40.0, 25.0, 10.0]
+        rnd = 30.0
+        base = effective_bandwidth_mix(MACHINE, seq, rnd)
+        for k in (0.1, 0.5, 0.9, 2.0):
+            scaled = effective_bandwidth_mix(
+                MACHINE, [k * r for r in seq], k * rnd
+            )
+            assert scaled == pytest.approx(base, rel=1e-12)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cpu_throttled_seq_scans_agree_tightly(self, seed):
+        # CPU-bound tasks are where the demand-scaling choice shows up:
+        # their io demand is throttled by cpu_scale, shifting the
+        # seq/random split.  Page-partitioned sequential scans must
+        # still agree well inside the seq tier.
+        import random
+
+        rng = random.Random(seed)
+        specs = [
+            spec_for_io_rate(
+                f"t{i}",
+                MACHINE,
+                io_rate=rng.uniform(5.0, 15.0),
+                n_pages=rng.randint(80, 250),
+            )
+            for i in range(3)
+        ]
+        assert check_micro_vs_fluid(specs, MACHINE, rel_elapsed=0.15) == []
+
+    def test_mixed_demand_split_agrees(self):
+        # One CPU-throttled scan sharing disks with a random scan: the
+        # throttled demand enters the seq/random split on both sides.
+        specs = [
+            spec_for_io_rate("cpu", MACHINE, io_rate=8.0, n_pages=200),
+            spec_for_io_rate(
+                "rng",
+                MACHINE,
+                io_rate=25.0,
+                n_pages=150,
+                pattern=IOPattern.RANDOM,
+            ),
+        ]
+        assert check_micro_vs_fluid(specs, MACHINE) == []
+
+
+class TestRecursionVsFluid:
+    def test_agreement_on_paper_mix(self):
+        tasks = [
+            make_task("io", io_rate=55.0, seq_time=12.0),
+            make_task("cpu", io_rate=8.0, seq_time=20.0),
+            make_task("mid", io_rate=30.0, seq_time=6.0),
+        ]
+        assert check_recursion_vs_fluid(tasks, MACHINE) == []
+
+    def test_divergent_inputs_are_reported(self):
+        # The closed-form recursion has no arrival model, so an
+        # arrival-offset mix is a guaranteed, legitimate divergence —
+        # exercising the reporting branch.
+        tasks = [
+            make_task("io", io_rate=55.0, seq_time=12.0),
+            make_task("late", io_rate=8.0, seq_time=20.0, arrival_time=30.0),
+        ]
+        divergences = check_recursion_vs_fluid(tasks, MACHINE)
+        assert divergences
+        assert "recursion-vs-fluid" in divergences[0]
+
+
+class TestOptimizerFastPath:
+    def test_chain3_identical_in_all_spaces(self):
+        schema = chain_join(3, rows_per_relation=300, seed=7)
+        assert check_optimizer_fast_path(schema) == []
+
+
+class TestExecutorVsProtocol:
+    def test_exactly_once_under_adjustments(self):
+        assert (
+            check_executor_vs_protocol(
+                n_rows=300, parallelism=2, adjustments=((6, 4), (14, 1))
+            )
+            == []
+        )

@@ -1,0 +1,238 @@
+"""Tests for the runtime invariant checker and its engine hooks."""
+
+import pytest
+
+from repro.check import InvariantChecker
+from repro.config import paper_machine
+from repro.core import InterWithAdjPolicy, IntraOnlyPolicy
+from repro.core.task import IOPattern
+from repro.errors import InvariantViolation
+from repro.faults import random_schedule
+from repro.sim.fluid import FluidSimulator
+from repro.sim.micro import MicroSimulator, spec_for_io_rate
+
+MACHINE = paper_machine()
+
+
+def specs():
+    return [
+        spec_for_io_rate("io", MACHINE, io_rate=45.0, n_pages=200),
+        spec_for_io_rate("cpu", MACHINE, io_rate=10.0, n_pages=150),
+        spec_for_io_rate(
+            "rng", MACHINE, io_rate=25.0, n_pages=120, pattern=IOPattern.RANDOM
+        ),
+        spec_for_io_rate(
+            "rangy", MACHINE, io_rate=30.0, n_pages=100, partitioning="range"
+        ),
+    ]
+
+
+class TestEngineHooks:
+    def test_micro_hooks_fire_and_stay_clean(self):
+        inv = InvariantChecker()
+        MicroSimulator(MACHINE, invariants=inv).run(
+            specs(), InterWithAdjPolicy(integral=True)
+        )
+        assert inv.checks > 0
+        assert inv.ok
+
+    def test_fluid_hooks_fire_and_stay_clean(self):
+        inv = InvariantChecker()
+        tasks = [s.to_task(MACHINE) for s in specs()]
+        FluidSimulator(MACHINE, invariants=inv).run(
+            tasks, IntraOnlyPolicy(integral=True)
+        )
+        assert inv.checks > 0
+        assert inv.ok
+
+    def test_micro_hooks_survive_faults(self):
+        # Crashes, stalls and aborted rounds must not break page
+        # conservation or epoch monotonicity.
+        inv = InvariantChecker(collect=True)
+        schedule = random_schedule(
+            3, task_names=tuple(s.name for s in specs())
+        )
+        MicroSimulator(MACHINE, faults=schedule, invariants=inv).run(
+            specs(), InterWithAdjPolicy(integral=True)
+        )
+        assert inv.checks > 0
+        assert inv.violations == []
+
+    def test_off_by_default(self):
+        sim = MicroSimulator(MACHINE)
+        assert sim.invariants is None
+        fluid = FluidSimulator(MACHINE)
+        assert fluid.invariants is None
+
+
+class _FakeTask:
+    def __init__(self, name, io_rate=40.0):
+        self.name = name
+        self.task_id = 1
+        self.io_rate = io_rate
+        self.io_pattern = IOPattern.SEQUENTIAL
+
+
+class _FakeRun:
+    """Duck-typed stand-in for a fluid ``_Running`` entry."""
+
+    def __init__(self, parallelism, remaining=1.0):
+        self.task = _FakeTask("fake")
+        self.parallelism = parallelism
+        self.remaining = remaining
+
+
+class _FakeState:
+    def __init__(self, clock, running):
+        self.clock = clock
+        self.running = running
+
+
+class TestViolationDetection:
+    def test_clock_regression_raises(self):
+        inv = InvariantChecker()
+        inv.fluid_event(_FakeState(5.0, []), machine=MACHINE, cpu_busy=0.0)
+        with pytest.raises(InvariantViolation, match="clock went backwards"):
+            inv.fluid_event(_FakeState(4.0, []), machine=MACHINE, cpu_busy=0.0)
+
+    def test_parallelism_above_processors_raises(self):
+        inv = InvariantChecker()
+        state = _FakeState(1.0, [_FakeRun(parallelism=9.0)])
+        with pytest.raises(InvariantViolation, match="outside"):
+            inv.fluid_event(state, machine=MACHINE, cpu_busy=0.0)
+
+    def test_parallelism_above_maxp_raises(self):
+        # io_rate 40 -> maxp = 240/40 = 6; degree 7 is infeasible.
+        inv = InvariantChecker()
+        state = _FakeState(1.0, [_FakeRun(parallelism=7.0)])
+        with pytest.raises(InvariantViolation, match="exceeds maxp"):
+            inv.fluid_event(state, machine=MACHINE, cpu_busy=0.0)
+
+    def test_negative_remaining_raises(self):
+        inv = InvariantChecker()
+        state = _FakeState(1.0, [_FakeRun(parallelism=2.0, remaining=-0.5)])
+        with pytest.raises(InvariantViolation, match="remaining"):
+            inv.fluid_event(state, machine=MACHINE, cpu_busy=0.0)
+
+    def test_cpu_oversubscription_raises(self):
+        inv = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="cpu_busy"):
+            inv.fluid_event(
+                _FakeState(1.0, []), machine=MACHINE, cpu_busy=100.0
+            )
+
+    def test_utilization_above_one_raises(self):
+        class FakeResult:
+            cpu_utilization = 1.5
+            io_utilization = 0.5
+
+        inv = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="cpu_utilization"):
+            inv.fluid_end(FakeResult())
+
+    def test_collect_mode_accumulates(self):
+        inv = InvariantChecker(collect=True)
+        inv.fluid_event(_FakeState(5.0, []), machine=MACHINE, cpu_busy=0.0)
+        inv.fluid_event(_FakeState(4.0, []), machine=MACHINE, cpu_busy=0.0)
+        assert not inv.ok
+        assert len(inv.violations) == 1
+        assert "clock went backwards" in inv.violations[0]
+
+    def test_new_run_keeps_violations_reset_clears(self):
+        inv = InvariantChecker(collect=True)
+        inv.fluid_event(_FakeState(5.0, []), machine=MACHINE, cpu_busy=0.0)
+        inv.fluid_event(_FakeState(4.0, []), machine=MACHINE, cpu_busy=0.0)
+        inv.new_run()
+        # A new run may legitimately restart the clock at zero.
+        inv.fluid_event(_FakeState(0.0, []), machine=MACHINE, cpu_busy=0.0)
+        assert len(inv.violations) == 1
+        inv.reset()
+        assert inv.ok
+        assert inv.checks == 0
+
+
+class _FakeSegment:
+    def __init__(self, lo, hi, stride):
+        self.lo = lo
+        self.hi = hi
+        self.stride = stride
+
+    def first_at_or_after(self, pos):
+        if pos > self.hi:
+            return None
+        if pos <= self.lo:
+            return self.lo
+        offset = (pos - self.lo + self.stride - 1) // self.stride
+        page = self.lo + offset * self.stride
+        return page if page <= self.hi else None
+
+
+class _FakeSlave:
+    def __init__(self, slave_id, segments, cursor=0):
+        self.slave_id = slave_id
+        self.segments = segments
+        self.cursor = cursor
+        self.intervals = []
+        self.busy = False
+        self.crashed = False
+        self.inflight_page = None
+
+
+class _FakeSpec:
+    def __init__(self, n_pages):
+        self.n_pages = n_pages
+
+
+class _FakeMicroRun:
+    def __init__(self, slaves, n_pages, pages_done=0):
+        self.task = _FakeTask("cons")
+        self.spec = _FakeSpec(n_pages)
+        self.slaves = {s.slave_id: s for s in slaves}
+        self.pages_done = pages_done
+        self.page_mode = True
+        self.adjusting = False
+        self.adjust_epoch = 0
+        self.harvest = {}
+
+
+class TestConservation:
+    def test_clean_partition_passes(self):
+        # Two slaves striding residues 0 and 1 over 10 pages.
+        inv = InvariantChecker()
+        run = _FakeMicroRun(
+            [
+                _FakeSlave(0, [_FakeSegment(0, 8, 2)]),
+                _FakeSlave(1, [_FakeSegment(1, 9, 2)]),
+            ],
+            n_pages=10,
+        )
+        inv._check_conservation("test", run)  # must not raise
+
+    def test_double_claim_detected(self):
+        inv = InvariantChecker()
+        run = _FakeMicroRun(
+            [
+                _FakeSlave(0, [_FakeSegment(0, 9, 1)]),
+                _FakeSlave(1, [_FakeSegment(4, 9, 1)]),
+            ],
+            n_pages=10,
+        )
+        with pytest.raises(InvariantViolation, match="two slaves"):
+            inv._check_conservation("test", run)
+
+    def test_lost_pages_detected(self):
+        inv = InvariantChecker()
+        run = _FakeMicroRun(
+            [_FakeSlave(0, [_FakeSegment(0, 5, 1)])], n_pages=10
+        )
+        with pytest.raises(InvariantViolation, match="conservation violated"):
+            inv._check_conservation("test", run)
+
+    def test_inflight_overlap_detected(self):
+        inv = InvariantChecker()
+        slave = _FakeSlave(0, [_FakeSegment(0, 9, 1)])
+        slave.busy = True
+        slave.inflight_page = 3  # also still claimable from the segment
+        run = _FakeMicroRun([slave], n_pages=11)
+        with pytest.raises(InvariantViolation, match="in-flight"):
+            inv._check_conservation("test", run)

@@ -81,6 +81,23 @@ class TestMaxParallelism:
         assert int_parallelism(0.2, MACHINE) == 1
         assert int_parallelism(99.0, MACHINE) == 8
 
+    def test_int_parallelism_floors_not_rounds(self):
+        # Rounding 3.9 up to 4 would oversubscribe the disks at the
+        # bandwidth wall; Section 2.3 never allows demand above B.
+        assert int_parallelism(3.5, MACHINE) == 3
+        assert int_parallelism(3.999, MACHINE) == 3
+
+    @given(st.floats(min_value=0.1, max_value=500.0))
+    def test_integral_degree_respects_bandwidth_wall(self, rate):
+        # The audited invariant: C * int_parallelism(maxp) <= B for
+        # every io rate, so flooring (not rounding) is the only safe
+        # integralization of the continuous degree.
+        t = task(rate)
+        maxp = max_parallelism(t, MACHINE)
+        degree = int_parallelism(maxp, MACHINE)
+        if degree > 1:  # degree 1 is always admitted, even past the wall
+            assert rate * degree <= MACHINE.io_bandwidth + 1e-6
+
 
 class TestPatternBandwidth:
     def test_sequential_gets_almost_seq(self):

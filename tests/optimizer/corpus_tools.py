@@ -43,6 +43,10 @@ WORKLOADS = (
     ("chain4/seed0", lambda: chain_join(4, rows_per_relation=300, seed=0)),
     ("star3/seed0", lambda: star_join(3, fact_rows=400, dimension_rows=80, seed=0)),
     ("star3/seed1", lambda: star_join(3, fact_rows=400, dimension_rows=80, seed=1)),
+    # Added with repro.check: one deeper chain and one wider star, the
+    # shapes the differential fuzzer exercises most.
+    ("chain4/seed1", lambda: chain_join(4, rows_per_relation=300, seed=1)),
+    ("star4/seed0", lambda: star_join(4, fact_rows=400, dimension_rows=80, seed=0)),
 )
 
 

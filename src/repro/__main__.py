@@ -13,6 +13,7 @@ Commands:
 * ``recover``   — compare checkpointed resume against restart-from-scratch.
 * ``perf``      — time the micro engine's pages/sec throughput.
 * ``optbench``  — time the optimizer's plans/sec throughput.
+* ``servebench``— time the serving gate's submissions/sec throughput.
 * ``trace``     — record a unified trace and export it (Chrome/JSON).
 * ``check``     — runtime invariants, differential checks and fuzzing.
 
@@ -126,8 +127,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mixed_tenant_config,
         onoff_stream,
         poisson_stream,
+        smoke_lines,
         sweep,
     )
+
+    if args.smoke:
+        lines = smoke_lines(seed=args.seed)
+        print("\n".join(lines))
+        if any(line.startswith("smoke failed") for line in lines):
+            return 1
+        return 0
 
     machine = paper_machine()
     config = mixed_tenant_config(args.n)
@@ -150,30 +159,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 machine=mach,
             )
         return poisson_stream(rate=rate, seed=seed, config=cfg, machine=mach)
-
-    if args.smoke:
-        # A deterministic end-to-end trace (well under two seconds of
-        # wall clock): fixed seed, fixed mix, prints one line per
-        # submission and fails if nothing completed.
-        stream = poisson_stream(
-            rate=0.2, seed=0, config=mixed_tenant_config(10), machine=machine
-        )
-        result = service.run(stream)
-        for outcome in result.outcomes:
-            line = (
-                f"t={outcome.submission.arrival_time:8.2f}  "
-                f"{outcome.submission.name:<4s} {outcome.submission.tenant:<5s} "
-                f"{outcome.status}"
-            )
-            if outcome.status == "completed":
-                line += f"  response={outcome.response_time:.2f}s"
-            print(line)
-        completed = result.metrics.overall.completed
-        print(f"smoke: {completed}/{len(stream)} completed in {result.elapsed:.2f}s simulated")
-        if completed == 0:
-            print("smoke failed: no submissions completed", file=sys.stderr)
-            return 1
-        return 0
 
     if args.sweep:
         points = sweep(
@@ -339,6 +324,59 @@ def _cmd_optbench(args: argparse.Namespace) -> int:
     if not all(case.identical for case in report.cases):
         print(
             "optbench failed: fast path chose a different plan",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json is not None:
+        path = Path(args.json)
+        count = 0
+        for entry in report.to_entries(args.label):
+            count = append_trajectory(path, entry)
+        print(f"appended entries through {count} to {path}")
+    return 0
+
+
+def _cmd_servebench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench.servebench import (
+        DEFAULT_CASES,
+        append_trajectory,
+        run_servebench,
+        smoke_lines,
+    )
+
+    if args.smoke:
+        # Byte-stable: outcome and gate-consult counts plus simulated
+        # time, never wall-clock; fails if the fast path diverged from
+        # the reference gate.
+        lines = smoke_lines(seed=args.seed)
+        print("\n".join(lines))
+        if any(line.startswith("smoke failed") for line in lines):
+            return 1
+        return 0
+    cases = DEFAULT_CASES
+    if args.cases is not None:
+        if len(args.cases) % 3:
+            print(
+                "servebench failed: --cases wants n rate qcap triples",
+                file=sys.stderr,
+            )
+            return 1
+        cases = tuple(
+            (int(args.cases[i]), float(args.cases[i + 1]), int(args.cases[i + 2]))
+            for i in range(0, len(args.cases), 3)
+        )
+    report = run_servebench(
+        cases,
+        seed=args.seed,
+        repeats=args.repeats,
+        include_before=not args.no_before,
+    )
+    print(report.to_table())
+    if not all(case.identical for case in report.cases):
+        print(
+            "servebench failed: fast path diverged from the reference gate",
             file=sys.stderr,
         )
         return 1
@@ -725,6 +763,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick deterministic run, byte-stable output",
     )
     optbench.set_defaults(func=_cmd_optbench)
+
+    servebench = commands.add_parser(
+        "servebench",
+        help="time the serving gate's submissions/sec throughput",
+    )
+    servebench.add_argument(
+        "--cases",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="N RATE QCAP",
+        help="stress rungs as (stream length, offered rate, queue cap) "
+        "triples (default: the ext2 stress ladder)",
+    )
+    servebench.add_argument("--seed", type=int, default=0)
+    servebench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="wall-clock repetitions per arm (best is kept)",
+    )
+    servebench.add_argument(
+        "--no-before",
+        action="store_true",
+        help="skip the reference-gate timings",
+    )
+    servebench.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="append this run to a BENCH_SERVE.json trajectory file",
+    )
+    servebench.add_argument(
+        "--label",
+        default="local",
+        help="label of the --json trajectory entries",
+    )
+    servebench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick deterministic run, byte-stable output",
+    )
+    servebench.set_defaults(func=_cmd_servebench)
 
     trace = commands.add_parser(
         "trace", help="record a unified trace and export it"

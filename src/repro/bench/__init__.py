@@ -19,6 +19,7 @@ from .harness import (
 )
 from .optbench import OptBenchCase, OptBenchReport, run_optbench
 from .perf import PerfCase, PerfReport, run_case, run_perf
+from .servebench import ServeBenchCase, ServeBenchReport, run_servebench
 from .report import format_bar_chart, format_table, percent
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "PerfCase",
     "PerfReport",
     "ScanMeasurement",
+    "ServeBenchCase",
+    "ServeBenchReport",
     "calibrate",
     "figure3",
     "figure4",
@@ -49,5 +52,6 @@ __all__ = [
     "run_figure7",
     "run_optbench",
     "run_perf",
+    "run_servebench",
     "schedule_to_json",
 ]

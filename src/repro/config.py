@@ -22,6 +22,7 @@ returns the exact configuration used in the paper's experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 from .errors import ConfigError
 
@@ -132,13 +133,18 @@ class MachineConfig:
             raise ConfigError("work_memory_bytes must be positive")
 
     # -- aggregate bandwidths -------------------------------------------------
+    #
+    # Cached: the config is frozen, so these are constants per instance,
+    # and the schedulers read them on every policy consult.
+    # ``cached_property`` stores straight into ``__dict__`` (bypassing the
+    # frozen ``__setattr__``) and does not participate in eq/hash.
 
-    @property
+    @cached_property
     def total_seq_bandwidth(self) -> float:
         """Aggregate strictly-sequential bandwidth, ios/second."""
         return self.disks * self.disk.seq_ios_per_sec
 
-    @property
+    @cached_property
     def total_almost_seq_bandwidth(self) -> float:
         """Aggregate almost-sequential bandwidth, ios/second.
 
@@ -148,17 +154,17 @@ class MachineConfig:
         """
         return self.disks * self.disk.almost_seq_ios_per_sec
 
-    @property
+    @cached_property
     def total_random_bandwidth(self) -> float:
         """Aggregate random bandwidth ``Br``, ios/second."""
         return self.disks * self.disk.random_ios_per_sec
 
-    @property
+    @cached_property
     def io_bandwidth(self) -> float:
         """The paper's default total bandwidth ``B`` (almost sequential)."""
         return self.total_almost_seq_bandwidth
 
-    @property
+    @cached_property
     def bound_threshold(self) -> float:
         """``B / N`` — tasks with a higher sequential io rate are IO-bound."""
         return self.io_bandwidth / self.processors

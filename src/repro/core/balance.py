@@ -31,6 +31,7 @@ root in ``(0, N)`` by a coarse downward scan followed by bisection (see
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..config import MachineConfig
@@ -44,14 +45,51 @@ _MAX_ITERATIONS = 200
 _TOLERANCE = 1e-9
 
 #: Memo of :func:`balance_point` solutions.  The solver is a pure
-#: function of two (frozen, hashable) tasks and the machine, but costs
-#: a ~100-evaluation scan-plus-bisection per call, and engines consult
-#: policies with the same running pairs over and over.  Only the
+#: function of the two tasks' *(io_rate, io_pattern)* pairs and the
+#: machine — ``seq_time`` never enters the balance equations — but
+#: costs a ~100-evaluation scan-plus-bisection per call, and engines
+#: consult policies with the same rate pairs over and over (including
+#: freshly built "remaining work" partner tasks whose rates repeat
+#: even though their ids do not).  Keying on the rates instead of the
+#: task identities lets those synthetic tasks hit too.  Only the
 #: solution floats are stored — each hit rebuilds the ``BalancePoint``
 #: around the *caller's* task objects, so no references leak between
 #: equal-but-distinct tasks.
 _POINT_CACHE: dict[tuple, tuple | None] = {}
 _POINT_CACHE_MISS = object()
+
+#: When set, :func:`balance_point` keys its memo on the task objects
+#: themselves — the seed-era behaviour, where every synthetic
+#: remaining-work task missed.  Flip it via
+#: :func:`reference_point_keying` only; identity keys (Task-led tuples)
+#: and rate keys (float-led tuples) cannot collide in the shared dict.
+_REFERENCE_KEYING = False
+
+
+def clear_point_cache() -> None:
+    """Empty the balance-point memo (benchmarks time cold starts)."""
+    _POINT_CACHE.clear()
+
+
+@contextmanager
+def reference_point_keying():
+    """Restore the seed-era identity cache keys (the benchmark *before* arm).
+
+    The seed keyed the balance-point memo on the tasks themselves
+    (``task_id`` enters the hash), so the remaining-work partner tasks
+    the schedulers rebuild every round never hit.  The servebench's
+    reference arm runs under this context so its timings reflect the
+    genuine pre-optimization cache behaviour; the memo is cleared on
+    entry and exit so neither arm warms the other.
+    """
+    global _REFERENCE_KEYING
+    _POINT_CACHE.clear()
+    _REFERENCE_KEYING = True
+    try:
+        yield
+    finally:
+        _REFERENCE_KEYING = False
+        _POINT_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -175,14 +213,24 @@ def balance_point(
     ``use_effective_bandwidth=False`` the nominal ``B`` is used — the
     paper's uncorrected Section 2.3 calculation (the abl5 ablation).
     """
-    key = (task_a, task_b, machine, use_effective_bandwidth)
+    if _REFERENCE_KEYING:
+        key = (task_a, task_b, machine, use_effective_bandwidth)
+    else:
+        key = (
+            task_a.io_rate,
+            task_a.io_pattern,
+            task_b.io_rate,
+            task_b.io_pattern,
+            machine,
+            use_effective_bandwidth,
+        )
     cached = _POINT_CACHE.get(key, _POINT_CACHE_MISS)
     if cached is not _POINT_CACHE_MISS:
         if cached is None:
             return None
-        a_is_io, x_io, x_cpu, bandwidth = cached
+        x_io, x_cpu, bandwidth = cached
         task_io, task_cpu = (
-            (task_a, task_b) if a_is_io else (task_b, task_a)
+            (task_a, task_b) if task_a.io_rate > task_b.io_rate else (task_b, task_a)
         )
         return BalancePoint(
             task_io=task_io,
@@ -255,7 +303,7 @@ def balance_point(
     if x_io <= 0 or x_cpu <= 0:
         _POINT_CACHE[key] = None
         return None
-    _POINT_CACHE[key] = (task_io is task_a, x_io, x_cpu, bandwidth)
+    _POINT_CACHE[key] = (x_io, x_cpu, bandwidth)
     return BalancePoint(
         task_io=task_io,
         task_cpu=task_cpu,

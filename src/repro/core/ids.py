@@ -58,6 +58,26 @@ def id_scope() -> Iterator[None]:
         _SCOPES.pop()
 
 
+def snapshot_counters() -> dict[str, int]:
+    """Copy of the innermost scope's counters.
+
+    Pairs with :func:`restore_counters` to make cached generation
+    replayable: a builder that memoizes expensive objects (e.g. the
+    arrival-stream task pools) snapshots the counters right after the
+    cold build and replays them on every cache hit, so ids allocated
+    *after* the cached step come out identical to a cold run's.
+    """
+    counters = _SCOPES[-1] if _SCOPES else _DEFAULT
+    return dict(counters)
+
+
+def restore_counters(saved: dict[str, int]) -> None:
+    """Overwrite the innermost scope's counters with ``saved``."""
+    counters = _SCOPES[-1] if _SCOPES else _DEFAULT
+    counters.clear()
+    counters.update(saved)
+
+
 #: The three library-wide id sources.  Modules bind these at import
 #: time; the scope lookup happens per call, not per binding.
 task_ids = IdSource("task")

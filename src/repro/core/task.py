@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import cached_property
 
 from ..errors import SchedulingError
 from .ids import task_ids as _task_ids
@@ -75,9 +76,14 @@ class Task:
         if self.memory_bytes < 0:
             raise SchedulingError(f"task {self.name!r}: memory_bytes must be >= 0")
 
-    @property
+    @cached_property
     def io_rate(self) -> float:
-        """``C_i = D_i / T_i`` — io requests per second when sequential."""
+        """``C_i = D_i / T_i`` — io requests per second when sequential.
+
+        Cached: the task is frozen and schedulers read the rate in every
+        classification, sort key and balance equation.  The cache lives
+        in ``__dict__`` and never enters eq/hash.
+        """
         return self.io_count / self.seq_time
 
     def with_arrival(self, arrival_time: float) -> "Task":

@@ -40,6 +40,7 @@ from .stress import (
     estimate_capacity,
     format_sweep,
     run_point,
+    smoke_lines,
     sweep,
 )
 
@@ -67,6 +68,7 @@ __all__ = [
     "percentile",
     "poisson_stream",
     "run_point",
+    "smoke_lines",
     "sweep",
     "utilization_timeline",
 ]

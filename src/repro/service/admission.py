@@ -25,9 +25,17 @@ from .queue import QueuedSubmission, ServiceSubmission
 
 
 class AdmissionPolicy:
-    """Base class: picks the next submission to admit."""
+    """Base class: picks the next submission to admit.
+
+    ``head_window`` declares how many leading entries of ``waiting``
+    the policy can ever pick from — an opt-in contract the fast
+    admission gate uses to stop building candidate lists deeper than
+    the policy will look.  ``None`` (the default for third-party
+    policies) promises nothing and the gate passes the full list.
+    """
 
     name = "abstract"
+    head_window: int | None = None
 
     def select(
         self,
@@ -51,6 +59,7 @@ class FifoAdmission(AdmissionPolicy):
     """Admit strictly in global arrival order (the control arm)."""
 
     name = "FIFO"
+    head_window = 1
 
     def select(
         self,
@@ -96,6 +105,7 @@ class BalanceAwareAdmission(AdmissionPolicy):
         if window < 1:
             raise ServiceError("window must be >= 1")
         self.window = window
+        self.head_window = window
 
     def select(
         self,

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..config import MachineConfig, paper_machine
 from ..core.balance import intra_time
-from ..core.ids import id_scope
+from ..core.ids import id_scope, restore_counters, snapshot_counters
 from ..errors import ConfigError
 from ..optimizer.multiquery import rewire_dependencies
 from ..workloads import RateBands, WorkloadConfig, WorkloadKind, generate_tasks
@@ -183,21 +183,43 @@ def _build_submissions(
         )
 
 
-def _build_submissions_scoped(
-    arrival_times: list[float],
-    *,
-    config: ArrivalConfig,
-    machine: MachineConfig,
-    seed: int,
-) -> list[ServiceSubmission]:
-    # Task and submission ids restart at zero inside the enclosing
-    # id_scope, making a stream a pure function of (seed, rate, config)
-    # even within one process — retry jitter keys on submission ids, so
-    # this is what makes two in-process runs byte-identical.
+#: Memoized bundle sizes and tenant task pools, keyed by everything the
+#: pool build depends on.  Bounded small: a λ sweep reuses one key many
+#: times, it does not accumulate many keys.
+_POOL_CACHE: dict[tuple, tuple[list[int], list, dict[str, int]]] = {}
+_POOL_CACHE_LIMIT = 32
+
+
+def clear_pool_cache() -> None:
+    """Empty the task-pool memo (benchmarks time cold starts)."""
+    _POOL_CACHE.clear()
+
+
+def _sized_pools(
+    *, config: ArrivalConfig, machine: MachineConfig, seed: int
+) -> tuple[list[int], list]:
+    """Bundle sizes and per-tenant task pools, memoized across rates.
+
+    Neither the bundle sizes (first ``n_submissions`` draws of the
+    stream RNG) nor the task pools depend on the offered rate λ, so a
+    load sweep that rebuilds its stream at every ρ point was paying the
+    full task-generation cost — by far the dominant setup term — once
+    per point for identical pools.  The memo key carries every input of
+    the build; the id-counter snapshot taken right after the cold build
+    is replayed on each hit so the ids allocated by the caller's
+    arrival stamping come out identical to a cold run's.  Pool tasks
+    are immutable (stamping copies them), so sharing is safe.
+    """
+    key = (seed, config, machine)
+    hit = _POOL_CACHE.get(key)
+    if hit is not None:
+        sizes, pools, counters = hit
+        restore_counters(counters)
+        return sizes, pools
     rng = np.random.default_rng(seed)
     sizes = [
         int(rng.integers(1, config.max_bundle + 1))
-        for __ in range(len(arrival_times))
+        for __ in range(config.n_submissions)
     ]
     # One task pool per tenant so each tenant can draw from its own
     # workload kind; pool seeds are derived deterministically.
@@ -218,6 +240,24 @@ def _build_submissions_scoped(
         )
         for t, count in enumerate(needed)
     ]
+    if len(_POOL_CACHE) >= _POOL_CACHE_LIMIT:
+        _POOL_CACHE.pop(next(iter(_POOL_CACHE)))
+    _POOL_CACHE[key] = (sizes, pools, snapshot_counters())
+    return sizes, pools
+
+
+def _build_submissions_scoped(
+    arrival_times: list[float],
+    *,
+    config: ArrivalConfig,
+    machine: MachineConfig,
+    seed: int,
+) -> list[ServiceSubmission]:
+    # Task and submission ids restart at zero inside the enclosing
+    # id_scope, making a stream a pure function of (seed, rate, config)
+    # even within one process — retry jitter keys on submission ids, so
+    # this is what makes two in-process runs byte-identical.
+    sizes, pools = _sized_pools(config=config, machine=machine, seed=seed)
     cursors = [0] * len(config.tenants)
     submissions: list[ServiceSubmission] = []
     for i, (arrival, size) in enumerate(zip(arrival_times, sizes)):

@@ -21,7 +21,7 @@ from ..core.task import Task
 from ..errors import AdmissionError, ServiceOverloadError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceSubmission:
     """One query entering the service.
 
@@ -84,7 +84,7 @@ class ServiceSubmission:
         return self.total_io_count / total if total > 0 else 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueuedSubmission:
     """Book-keeping wrapper for a submission waiting in a queue."""
 
@@ -95,10 +95,88 @@ class QueuedSubmission:
 class AdmissionQueue:
     """Per-tenant bounded FIFO queues feeding the admission controller.
 
+    Submissions live in one insertion-ordered dict keyed by submission
+    id: dict order *is* global arrival (FIFO) order, because ids are
+    never re-offered and removal preserves the order of the survivors.
+    That makes :meth:`offer`/:meth:`take`/:meth:`__contains__` O(1) and
+    :meth:`waiting` a memoized snapshot instead of the seed-era
+    flatten-and-sort (:class:`ReferenceAdmissionQueue`) — the admission
+    gate calls ``waiting()`` on every engine consult.
+
     Args:
         capacity_per_tenant: maximum submissions waiting per tenant;
             an offer beyond this sheds load with
             :class:`~repro.errors.ServiceOverloadError`.
+    """
+
+    def __init__(self, capacity_per_tenant: int) -> None:
+        if capacity_per_tenant < 1:
+            raise AdmissionError(-1, "capacity_per_tenant must be >= 1")
+        self.capacity_per_tenant = capacity_per_tenant
+        self._entries: dict[int, QueuedSubmission] = {}
+        self._depths: dict[str, int] = {}
+        self._waiting_cache: list[QueuedSubmission] | None = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, submission_id: int) -> bool:
+        """Is a submission with this id currently waiting?"""
+        return submission_id in self._entries
+
+    def depth(self, tenant: str) -> int:
+        """Submissions currently waiting for one tenant."""
+        return self._depths.get(tenant, 0)
+
+    def offer(self, submission: ServiceSubmission, now: float) -> None:
+        """Enqueue ``submission``; shed it when the tenant queue is full.
+
+        Raises:
+            ServiceOverloadError: the tenant's queue is at capacity.
+        """
+        tenant = submission.tenant
+        depth = self._depths.get(tenant, 0)
+        if depth >= self.capacity_per_tenant:
+            raise ServiceOverloadError(
+                submission.submission_id, submission.tenant
+            )
+        entry = QueuedSubmission(submission=submission, enqueued_at=now)
+        self._entries[submission.submission_id] = entry
+        self._depths[tenant] = depth + 1
+        if self._waiting_cache is not None:
+            self._waiting_cache.append(entry)  # newest is last in FIFO order
+
+    def waiting(self) -> list[QueuedSubmission]:
+        """All waiting submissions in global arrival (FIFO) order.
+
+        Returns a snapshot the queue may reuse across calls — callers
+        must treat it as read-only (they always have).
+        """
+        if self._waiting_cache is None:
+            self._waiting_cache = list(self._entries.values())
+        return self._waiting_cache
+
+    def take(self, submission_id: int) -> ServiceSubmission:
+        """Remove and return one waiting submission by id.
+
+        Raises:
+            AdmissionError: the id is not waiting in any queue.
+        """
+        entry = self._entries.pop(submission_id, None)
+        if entry is None:
+            raise AdmissionError(submission_id, "not waiting in any queue")
+        self._depths[entry.submission.tenant] -= 1
+        self._waiting_cache = None
+        return entry.submission
+
+
+class ReferenceAdmissionQueue:
+    """The seed-era list-backed queue, kept verbatim as the slow arm.
+
+    ``AdmissionGate(fast_path=False)`` and the servebench *before* arm
+    run on this implementation so speedups are measured against the
+    genuine pre-optimization algorithm; the frozen serve corpus pins
+    both implementations to the same digests.
     """
 
     def __init__(self, capacity_per_tenant: int) -> None:
@@ -111,6 +189,10 @@ class AdmissionQueue:
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues.values())
+
+    def __contains__(self, submission_id: int) -> bool:
+        """Is a submission with this id currently waiting?"""
+        return submission_id in self._seq
 
     def depth(self, tenant: str) -> int:
         """Submissions currently waiting for one tenant."""

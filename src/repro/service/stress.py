@@ -22,7 +22,7 @@ from ..bench.report import format_table
 from ..config import MachineConfig, paper_machine
 from ..errors import ConfigError
 from .admission import AdmissionPolicy, BalanceAwareAdmission
-from .arrivals import ArrivalConfig, poisson_stream
+from .arrivals import ArrivalConfig, mixed_tenant_config, poisson_stream
 from ..obs.metrics import percentile
 from .queue import ServiceSubmission
 from .server import QueryService, ServiceResult
@@ -163,8 +163,14 @@ def sweep(
     admission: AdmissionPolicy | None = None,
     service: QueryService | None = None,
     stream_factory: StreamFactory = _default_stream,
+    capacity: float | None = None,
 ) -> list[StressPoint]:
     """Sweep offered load ρ·μ and return the knee-table points.
+
+    One service instance serves the whole sweep, and the arrival
+    builder memoizes its task pools across λ points (only the arrival
+    times depend on the rate), so a long sweep pays the stream setup
+    cost once instead of once per point.
 
     Args:
         rhos: offered-load fractions of the measured capacity μ.
@@ -174,6 +180,10 @@ def sweep(
         admission: admission policy for a default-configured service.
         service: fully custom service (overrides ``admission``).
         stream_factory: arrival process (Poisson by default).
+        capacity: known service rate μ in submissions/second; ``None``
+            measures it with :func:`estimate_capacity`.  Passing a
+            previously measured μ lets repeated sweeps (e.g. one per
+            admission policy over the same mix) skip the probe run.
     """
     if not rhos:
         raise ConfigError("sweep needs at least one offered-load point")
@@ -185,9 +195,13 @@ def sweep(
         service = QueryService(
             machine, admission=admission or BalanceAwareAdmission()
         )
-    mu = estimate_capacity(
-        seed=seed, config=config, machine=machine, service=service
-    )
+    if capacity is not None and capacity <= 0:
+        raise ConfigError("capacity must be positive when given")
+    mu = capacity
+    if mu is None:
+        mu = estimate_capacity(
+            seed=seed, config=config, machine=machine, service=service
+        )
     points = []
     for rho in rhos:
         point, __ = run_point(
@@ -201,6 +215,47 @@ def sweep(
         )
         points.append(point)
     return points
+
+
+def smoke_lines(*, seed: int = 0) -> list[str]:
+    """Deterministic end-to-end serving trace for ``serve --smoke``.
+
+    Ten mixed-tenant submissions through a default balance-aware gate:
+    one line per outcome plus a summary, and a trailing ``smoke failed``
+    line when nothing completed.  The CLI turns that prefix into a
+    non-zero exit code, the same contract every other smoke command
+    (``perf``, ``optbench``, ``trace``, ``recover``, ``servebench``)
+    honours.
+    """
+    machine = paper_machine()
+    service = QueryService(
+        machine,
+        admission=BalanceAwareAdmission(),
+        queue_capacity=20,
+        max_inflight_fragments=2,
+    )
+    stream = poisson_stream(
+        rate=0.2, seed=seed, config=mixed_tenant_config(10), machine=machine
+    )
+    result = service.run(stream)
+    lines = []
+    for outcome in result.outcomes:
+        line = (
+            f"t={outcome.submission.arrival_time:8.2f}  "
+            f"{outcome.submission.name:<4s} {outcome.submission.tenant:<5s} "
+            f"{outcome.status}"
+        )
+        if outcome.status == "completed":
+            line += f"  response={outcome.response_time:.2f}s"
+        lines.append(line)
+    completed = result.metrics.overall.completed
+    lines.append(
+        f"smoke: {completed}/{len(stream)} completed "
+        f"in {result.elapsed:.2f}s simulated"
+    )
+    if completed == 0:
+        lines.append("smoke failed: no submissions completed")
+    return lines
 
 
 def format_sweep(

@@ -73,6 +73,12 @@ class _Running:
     history: list[tuple[float, float]] = field(default_factory=list)
     io_rate: float = 0.0
     io_pattern: IOPattern = IOPattern.SEQUENTIAL
+    #: CPU share of one sequential-second of this task's work — the
+    #: complement of the io-wait share ``io_rate * io_service_time``
+    #: under the calibration the workload builders use (see
+    #: ``ScanSpec.seq_io_service``).  Cached at start for the
+    #: service-semantics CPU integral.
+    cpu_frac: float = 0.0
 
     @property
     def remaining_seq_time(self) -> float:
@@ -125,13 +131,27 @@ class CancelRecord:
 
 @dataclass
 class ScheduleResult:
-    """Outcome of one simulated run."""
+    """Outcome of one simulated run.
+
+    CPU accounting carries two semantics (see docs/CHECKING.md):
+
+    * **occupancy** — processor-seconds *allocated*: a slave holds its
+      processor for its whole lifetime, io-throttled or not.  This is
+      the fluid engine's native integral ``∫ Σ xᵢ dt``.
+    * **service** — processor-seconds actually *computing* tuples.
+      This is the micro engine's native sum of per-page CPU bursts.
+
+    ``cpu_busy`` keeps each engine's historical native semantics
+    (occupancy for fluid, service for micro); ``cpu_busy_occupancy``
+    and ``cpu_busy_service`` report both quantities from both engines,
+    so cross-engine checks compare like with like.
+    """
 
     policy_name: str
     elapsed: float
     records: list[TaskRecord]
     adjustments: int
-    cpu_busy: float  # processor-seconds of useful work
+    cpu_busy: float  # processor-seconds, engine-native semantics
     io_served: float  # io requests served
     machine: MachineConfig
     peak_memory: float = 0.0  # largest co-resident working set (bytes)
@@ -141,11 +161,27 @@ class ScheduleResult:
     #: Tasks cooperatively cancelled (deadline kills and their
     #: transitive dependents); never counted in ``records``.
     cancel_records: list[CancelRecord] = field(default_factory=list)
+    #: Processor-seconds *allocated* (occupancy semantics).
+    cpu_busy_occupancy: float = 0.0
+    #: Processor-seconds spent *computing* (service semantics).
+    cpu_busy_service: float = 0.0
 
     @property
     def cpu_utilization(self) -> float:
         denom = self.machine.processors * self.elapsed
         return self.cpu_busy / denom if denom > 0 else 0.0
+
+    @property
+    def cpu_utilization_occupancy(self) -> float:
+        """Fraction of processor capacity *held* over the run."""
+        denom = self.machine.processors * self.elapsed
+        return self.cpu_busy_occupancy / denom if denom > 0 else 0.0
+
+    @property
+    def cpu_utilization_service(self) -> float:
+        """Fraction of processor capacity spent *computing* tuples."""
+        denom = self.machine.processors * self.elapsed
+        return self.cpu_busy_service / denom if denom > 0 else 0.0
 
     @property
     def io_utilization(self) -> float:
@@ -269,6 +305,7 @@ class FluidSimulator:
         state = _SimState(self.machine, tasks)
         adjustments = 0
         cpu_busy = 0.0
+        cpu_service = 0.0
         io_served = 0.0
         peak_memory = 0.0
         healthy = not self.degradations
@@ -318,6 +355,11 @@ class FluidSimulator:
             for run, rate in rates:
                 run.remaining -= rate * dt
                 cpu_busy += run.parallelism * dt
+                # A sequential-second of work carries cpu_frac seconds
+                # of tuple processing; rate sequential-seconds complete
+                # per wall second, so this integral lands exactly on
+                # the micro engine's per-page CPU-burst sum.
+                cpu_service += run.cpu_frac * rate * dt
                 io_served += run.io_rate * rate * dt
             state.clock += dt
             state.settle()
@@ -351,6 +393,8 @@ class FluidSimulator:
             peak_memory=peak_memory,
             shed_records=state.shed_records,
             cancel_records=state.cancel_records,
+            cpu_busy_occupancy=cpu_busy,
+            cpu_busy_service=cpu_service,
         )
         if invariants is not None:
             invariants.fluid_end(result)
@@ -541,15 +585,38 @@ class _SimState:
             r.task.memory_bytes for r in self.running_map.values()
         )
 
+    def _remove_pending(self, task: Task) -> None:
+        """Drop ``task`` from the pending list, matching by task id.
+
+        Ids are unique within a run, so this finds exactly the element
+        ``list.remove`` would — but compares one int per candidate
+        instead of running the full dataclass equality, which matters
+        in serving mode where the pending list holds every
+        not-yet-admitted fragment of the whole arrival stream.
+        """
+        pending = self._pending
+        tid = task.task_id
+        for i, t in enumerate(pending):
+            if t.task_id == tid:
+                del pending[i]
+                return
+        raise ValueError(tid)
+
     def start(self, task: Task, parallelism: float) -> None:
         if task.task_id in self.running_map:
             raise SimulationError(f"{task!r} is already running")
         try:
-            self._pending.remove(task)
+            self._remove_pending(task)
         except ValueError:
             raise SimulationError(f"{task!r} is not pending") from None
         if parallelism <= 0:
             raise SimulationError(f"{task!r}: parallelism must be positive")
+        disk = self.machine.disk
+        io_service = (
+            1.0 / disk.random_ios_per_sec
+            if task.io_pattern == IOPattern.RANDOM
+            else 1.0 / disk.almost_seq_ios_per_sec
+        )
         run = _Running(
             task=task,
             parallelism=parallelism,
@@ -558,6 +625,7 @@ class _SimState:
             history=[(self.clock, parallelism)],
             io_rate=task.io_rate,
             io_pattern=task.io_pattern,
+            cpu_frac=max(0.0, 1.0 - task.io_rate * io_service),
         )
         self.running_map[task.task_id] = run
         self._running_view = None
@@ -569,7 +637,7 @@ class _SimState:
         if task.task_id in self.running_map:
             raise SimulationError(f"{task!r} is running and cannot be shed")
         try:
-            self._pending.remove(task)
+            self._remove_pending(task)
         except ValueError:
             raise SimulationError(f"{task!r} is not pending") from None
         self.shed_records.append(ShedRecord(task=task, shed_at=self.clock))
@@ -591,7 +659,7 @@ class _SimState:
             self._resum_memory()
             return
         try:
-            self._pending.remove(task)
+            self._remove_pending(task)
         except ValueError:
             raise SimulationError(
                 f"{task!r} is neither running nor pending"

@@ -30,6 +30,7 @@ import heapq
 import math
 from collections import deque
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from ..config import MachineConfig
 from ..core.schedulers import Adjust, Cancel, SchedulingPolicy, Start
@@ -74,6 +75,27 @@ _EV_CPU_DONE = 2
 
 #: Elevator preference order of the disk regimes (lower serves first).
 _REGIME_RANK = {"sequential": 0, "almost_sequential": 1, "random": 2}
+
+
+def _history_occupancy(
+    history: Sequence[tuple[float, float]], end: float
+) -> float:
+    """Processor-seconds *allocated* over one task's lifetime.
+
+    Integrates the declared parallelism history ``[(t, x), ...]`` up to
+    ``end`` — the occupancy semantics the fluid engine charges natively
+    (a slave holds its processor whether it is computing or waiting on
+    io).  Declared allocation, deliberately: a crashed slave's
+    processor stays charged until the adjustment protocol re-declares
+    the task's width, mirroring how the fluid integral sees it.
+    """
+    total = 0.0
+    for (t0, x), (t1, __) in zip(history, history[1:]):
+        total += x * (t1 - t0)
+    if history:
+        t_last, x_last = history[-1]
+        total += x_last * (end - t_last)
+    return total
 
 
 @dataclass(frozen=True)
@@ -463,6 +485,9 @@ class _MicroEngine:
         self.free_processors = machine.processors
         self._cpu_queue: deque[tuple["_TaskRun", _Slave, int, int]] = deque()
         self.cpu_busy_time = 0.0
+        #: Occupancy accrued by *cancelled* runs (completed runs are
+        #: integrated from their records at result build).
+        self.occupancy_cancelled = 0.0
         self.io_count = 0
         # tasks
         self._pending: list[Task] = []
@@ -915,6 +940,10 @@ class _MicroEngine:
         if self.injector is not None:
             log = self.injector.log
             log.record(elapsed, "done", f"{len(self.records)} tasks complete")
+        occupancy = self.occupancy_cancelled + sum(
+            _history_occupancy(r.parallelism_history, r.finished_at)
+            for r in self.records
+        )
         result = ScheduleResult(
             policy_name=self.policy.name,
             elapsed=elapsed,
@@ -926,6 +955,8 @@ class _MicroEngine:
             peak_memory=self.peak_memory,
             fault_log=self.injector.log if self.injector is not None else None,
             cancel_records=self.cancel_records,
+            cpu_busy_occupancy=occupancy,
+            cpu_busy_service=self.cpu_busy_time,
         )
         invariants = self.invariants
         if invariants is not None:
@@ -1244,6 +1275,7 @@ class _MicroEngine:
         run.adjust_epoch += 1
         run.adjusting = False
         run.harvest = None
+        self.occupancy_cancelled += _history_occupancy(run.history, self.clock)
         for slave in run.slaves.values():
             slave.crashed = True
             slave.retired = True

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ObsError
 from repro.obs import Counter, Histogram, MetricsRegistry, Series, percentile
+from repro.obs.metrics import percentiles
 
 
 class TestPercentile:
@@ -21,6 +22,30 @@ class TestPercentile:
             percentile([1.0], 101.0)
         with pytest.raises(ObsError):
             percentile([1.0], -1.0)
+
+    def test_single_sample_is_every_percentile(self):
+        for p in (0.0, 37.0, 50.0, 99.0, 100.0):
+            assert percentile([7.5], p) == 7.5
+
+    def test_identical_samples_collapse_to_the_value(self):
+        values = [3.25] * 9
+        for p in (0.0, 50.0, 95.0, 100.0):
+            assert percentile(values, p) == 3.25
+
+    def test_percentiles_matches_single_queries(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        ps = (0.0, 12.5, 50.0, 95.0, 100.0)
+        assert percentiles(values, ps) == tuple(
+            percentile(values, p) for p in ps
+        )
+
+    def test_percentiles_of_empty_is_all_zeros(self):
+        assert percentiles([], (50.0, 95.0, 99.0)) == (0.0, 0.0, 0.0)
+        assert percentiles([], ()) == ()
+
+    def test_percentiles_out_of_range_raises(self):
+        with pytest.raises(ObsError):
+            percentiles([1.0, 2.0], (50.0, 101.0))
 
     def test_service_metrics_reexports_this_implementation(self):
         # Satellite: one percentile implementation in the repository.
@@ -70,6 +95,44 @@ class TestHistogram:
         hist.observe(1.0)
         with pytest.raises(ObsError):
             hist.percentile(200.0)
+
+    def test_single_observation_dominates_every_percentile(self):
+        hist = Histogram("h")
+        hist.observe(4.5)
+        assert hist.p50 == hist.p95 == hist.p99 == 4.5
+        assert hist.mean == 4.5
+        assert hist.total == 4.5
+
+    def test_identical_observations_have_zero_spread(self):
+        hist = Histogram("h")
+        hist.observe_many([2.0] * 7)
+        assert hist.percentile(0.0) == hist.percentile(100.0) == 2.0
+        assert hist.mean == 2.0
+
+    def test_observe_many_equals_repeated_observe(self):
+        # The fast metrics path folds a whole run's latencies in one
+        # batch; the digest must not depend on which path ran.
+        values = [5.0, 1.0, 3.0, 2.0, 4.0, 2.0, 1.0]
+        batched, single = Histogram("b"), Histogram("s")
+        batched.observe_many(values[:4])
+        batched.observe_many(values[4:])
+        for v in values:
+            single.observe(v)
+        assert batched._sorted == single._sorted
+        assert batched.total == single.total
+        assert batched.p95 == single.p95
+
+    def test_observe_many_interleaved_with_observe(self):
+        hist = Histogram("h")
+        hist.observe(9.0)
+        hist.observe_many([1.0, 5.0])
+        hist.observe(3.0)
+        assert hist._sorted == [1.0, 3.0, 5.0, 9.0]
+
+    def test_observe_many_empty_batch_is_a_no_op(self):
+        hist = Histogram("h")
+        hist.observe_many([])
+        assert hist.count == 0 and hist.p50 == 0.0
 
 
 class TestSeries:

@@ -1,0 +1,116 @@
+"""Generator and replay helpers for the frozen serve-digest corpus.
+
+``tests/service/data/serve_corpus.json`` pins the full decision record
+of twelve small serving runs — seeds 0–2 × FIFO/balance admission ×
+shed/kill deadline enforcement — as ``float.hex``-exact digests (see
+:func:`repro.bench.servebench.service_digest`).  The replay test checks
+that *both* gate implementations (the seed-era reference arm and the
+fast path) still produce these bytes, so any behavioural drift in
+either arm fails loudly and points at the exact case.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/service/corpus_tools.py
+
+and review the diff: every changed digest is a changed serving
+decision, not a refactor.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.servebench import service_digest
+from repro.core.ids import id_scope
+from repro.core.schedulers import InterWithAdjPolicy
+from repro.faults.retry import RetryPolicy
+from repro.service.admission import admission_by_name
+from repro.service.arrivals import ArrivalConfig, poisson_stream
+from repro.service.server import QueryService
+
+CORPUS_PATH = Path(__file__).parent / "data" / "serve_corpus.json"
+
+#: The corpus grid: every (seed, admission, deadline policy) cell.
+SEEDS = (0, 1, 2)
+ADMISSIONS = ("fifo", "balance")
+DEADLINE_POLICIES = ("shed", "kill")
+
+
+def corpus_case(
+    seed: int,
+    admission: str,
+    deadline_policy: str,
+    *,
+    fast_path: bool = True,
+) -> list:
+    """Digest of one corpus cell, a pure function of its arguments.
+
+    Small but not trivial: 40 SLO-tagged submissions over a tight gate
+    (queue bound 4, fragment budget 4) with retry backoff, so every
+    gate mechanism — shed, retry, admission choice, deadline drop/kill/
+    degrade — fires somewhere in the grid.
+    """
+    with id_scope():
+        config = ArrivalConfig(n_submissions=40, slo_stretch=4.0)
+        stream = poisson_stream(rate=0.45, seed=seed, config=config)
+        service = QueryService(
+            admission=admission_by_name(admission),
+            scheduler=InterWithAdjPolicy(),
+            queue_capacity=4,
+            max_inflight_fragments=4,
+            retry=RetryPolicy(max_retries=2, base_delay=0.5, max_delay=4.0),
+            deadline_policy=deadline_policy,
+            deadline_grace=3.0 if deadline_policy == "shed" else 0.0,
+            fast_path=fast_path,
+        )
+        return service_digest(service.run(stream))
+
+
+def corpus_cells() -> list[tuple[int, str, str]]:
+    """All (seed, admission, deadline policy) cells in a fixed order."""
+    return [
+        (seed, admission, deadline_policy)
+        for seed in SEEDS
+        for admission in ADMISSIONS
+        for deadline_policy in DEADLINE_POLICIES
+    ]
+
+
+def generate_corpus() -> dict:
+    """The corpus document, generated from the *reference* gate.
+
+    Freezing the reference arm's digests makes the corpus an anchor for
+    both implementations: the reference arm must still match its own
+    frozen history, and the fast path must match the reference.
+    """
+    cases = []
+    for seed, admission, deadline_policy in corpus_cells():
+        cases.append(
+            {
+                "seed": seed,
+                "admission": admission,
+                "deadline_policy": deadline_policy,
+                "digest": corpus_case(
+                    seed, admission, deadline_policy, fast_path=False
+                ),
+            }
+        )
+    return {
+        "comment": (
+            "Frozen serving digests (float.hex-exact); regenerate with "
+            "tests/service/corpus_tools.py and review every change as a "
+            "behaviour change"
+        ),
+        "cases": cases,
+    }
+
+
+def main() -> None:
+    CORPUS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    CORPUS_PATH.write_text(json.dumps(generate_corpus(), indent=1) + "\n")
+    print(f"wrote {CORPUS_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -117,6 +117,50 @@ class TestStreams:
         with pytest.raises(ConfigError):
             onoff_stream(rate=0.1, seed=0, period=0.0)
 
+    def test_pool_cache_streams_are_byte_identical_to_cold(self):
+        # λ sweeps rebuild streams per point; the memoized task pools
+        # (and replayed id counters) must not change a single byte.
+        from repro.service.arrivals import clear_pool_cache
+
+        def digest(stream):
+            return [
+                (
+                    s.name,
+                    s.tenant,
+                    s.submission_id,
+                    s.arrival_time.hex(),
+                    None if s.deadline is None else s.deadline.hex(),
+                    [
+                        (
+                            t.task_id,
+                            t.seq_time.hex(),
+                            t.io_count.hex(),
+                            tuple(sorted(t.depends_on)),
+                        )
+                        for t in s.tasks
+                    ],
+                )
+                for s in stream
+            ]
+
+        config = mixed_tenant_config(12)
+        clear_pool_cache()
+        cold = poisson_stream(rate=0.5, seed=3, config=config)
+        warm = poisson_stream(rate=0.5, seed=3, config=config)
+        assert digest(warm) == digest(cold)
+        # A different rate shares the pools but re-draws arrivals.
+        other = poisson_stream(rate=2.0, seed=3, config=config)
+        assert digest(other) != digest(cold)
+        assert [t.seq_time for s in other for t in s.tasks] == [
+            t.seq_time for s in cold for t in s.tasks
+        ]
+        # And a genuinely cold rebuild of that rate matches the warm one.
+        warm_other = digest(other)
+        clear_pool_cache()
+        assert digest(
+            poisson_stream(rate=2.0, seed=3, config=config)
+        ) == warm_other
+
     def test_mixed_tenant_config_shape(self):
         config = mixed_tenant_config(24)
         assert config.n_submissions == 24

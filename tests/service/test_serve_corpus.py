@@ -1,0 +1,58 @@
+"""Replay the frozen serve-digest corpus on both gate implementations.
+
+The corpus (see ``corpus_tools.py``) pins twelve serving runs as
+``float.hex``-exact digests.  Both arms must reproduce them: the
+reference arm anchors against its own frozen history, and the fast
+path proves byte-identical behaviour to the reference — together the
+behaviour-identity guarantee the servebench speedups stand on.
+"""
+
+import json
+
+import pytest
+
+from .corpus_tools import CORPUS_PATH, corpus_case, corpus_cells
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    with CORPUS_PATH.open() as handle:
+        document = json.load(handle)
+    return {
+        (case["seed"], case["admission"], case["deadline_policy"]): case[
+            "digest"
+        ]
+        for case in document["cases"]
+    }
+
+
+def test_corpus_covers_the_full_grid(corpus):
+    assert set(corpus) == set(corpus_cells())
+
+
+@pytest.mark.parametrize("seed,admission,deadline_policy", corpus_cells())
+def test_reference_gate_matches_frozen_digest(
+    corpus, seed, admission, deadline_policy
+):
+    digest = corpus_case(seed, admission, deadline_policy, fast_path=False)
+    assert digest == corpus[(seed, admission, deadline_policy)]
+
+
+@pytest.mark.parametrize("seed,admission,deadline_policy", corpus_cells())
+def test_fast_path_matches_frozen_digest(
+    corpus, seed, admission, deadline_policy
+):
+    digest = corpus_case(seed, admission, deadline_policy, fast_path=True)
+    assert digest == corpus[(seed, admission, deadline_policy)]
+
+
+def test_corpus_exercises_every_outcome_kind(corpus):
+    # The grid is only a meaningful anchor if the mechanisms it is
+    # meant to pin actually fire somewhere in it.
+    statuses = {
+        row[2]
+        for digest in corpus.values()
+        for row in digest
+        if isinstance(row, list)
+    }
+    assert {"completed", "rejected", "deadline"} <= statuses

@@ -86,6 +86,22 @@ class TestSweep:
             sweep(rhos=(), config=config, machine=machine)
         with pytest.raises(ConfigError):
             sweep(rhos=(0.5, -1.0), config=config, machine=machine)
+        with pytest.raises(ConfigError):
+            sweep(rhos=(0.5,), config=config, machine=machine, capacity=0.0)
+
+    def test_known_capacity_skips_the_probe_and_matches(self, machine, config):
+        # A repeated sweep can hand back the measured μ: the points are
+        # identical to a probing sweep's, minus the probe run.
+        mu = estimate_capacity(seed=0, config=config, machine=machine)
+        probing = sweep(rhos=(0.5, 0.9), seed=0, config=config, machine=machine)
+        handed = sweep(
+            rhos=(0.5, 0.9),
+            seed=0,
+            config=config,
+            machine=machine,
+            capacity=mu,
+        )
+        assert handed == probing
 
     def test_format_sweep_has_header_and_rows(self, machine, config):
         points = sweep(rhos=(0.5,), seed=0, config=config, machine=machine)

@@ -75,6 +75,19 @@ class TestCli:
         assert main(["serve", "--smoke"]) == 0
         assert capsys.readouterr().out == first
 
+    def test_serve_smoke_failure_exits_one(self, capsys, monkeypatch):
+        # _cmd_serve resolves smoke_lines off the package at call time,
+        # so patching the attribute simulates a gate that starves.
+        import repro.service
+
+        monkeypatch.setattr(
+            repro.service,
+            "smoke_lines",
+            lambda *, seed=0: ["smoke failed: no submissions completed"],
+        )
+        assert main(["serve", "--smoke"]) == 1
+        assert "smoke failed" in capsys.readouterr().out
+
     def test_serve_metrics_table(self, capsys):
         assert main(["serve", "--n", "20", "--arrivals", "onoff"]) == 0
         out = capsys.readouterr().out
@@ -168,6 +181,58 @@ class TestChaosCommand:
 
     def test_perf_rejects_bad_task_count(self, capsys):
         assert main(["perf", "--tasks", "not-a-number"]) == EXIT_USAGE
+
+
+class TestServeBenchCommand:
+    def test_servebench_smoke_exits_zero(self, capsys):
+        assert main(["servebench", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: ext2 mix" in out
+        assert "gate consults" in out
+        assert "smoke failed" not in out
+
+    def test_servebench_smoke_is_byte_stable(self, capsys):
+        assert main(["servebench", "--smoke"]) == 0
+        first = capsys.readouterr().out
+        assert main(["servebench", "--smoke"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_servebench_smoke_failure_exits_one(self, capsys, monkeypatch):
+        import repro.bench.servebench
+
+        monkeypatch.setattr(
+            repro.bench.servebench,
+            "smoke_lines",
+            lambda *, seed=0: [
+                "smoke failed: fast path diverged from the reference gate"
+            ],
+        )
+        assert main(["servebench", "--smoke"]) == 1
+        assert "smoke failed" in capsys.readouterr().out
+
+    def test_servebench_timed_run_and_trajectory(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_SERVE.json"
+        assert main(
+            [
+                "servebench",
+                "--cases", "120", "1", "16",
+                "--repeats", "1",
+                "--json", str(path),
+                "--label", "cli-test",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "subs/sec" in out
+        assert f"appended entries through 2 to {path}" in out
+        trajectory = json.loads(path.read_text())
+        assert [e["label"] for e in trajectory] == [
+            "cli-test/fast-path-off",
+            "cli-test/fast-path-on",
+        ]
+
+    def test_servebench_rejects_ragged_cases(self, capsys):
+        assert main(["servebench", "--cases", "120", "1"]) == 1
+        assert "n rate qcap triples" in capsys.readouterr().err
 
 
 class TestTraceCommand:
